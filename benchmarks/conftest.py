@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Pipeline artifacts (recorded run + constraint system) are cached per
+benchmark so the table targets don't re-record for every measurement.
+Rendered tables are printed (run pytest with ``-s`` to see them) and
+written under ``results/``.
+"""
+
+import pytest
+
+from repro.bench.harness import save_result
+from repro.bench.programs import get_benchmark
+from repro.core.clap import ClapConfig, ClapPipeline
+
+_CACHE = {}
+
+
+def pipeline_artifacts(name, **params):
+    """(bench, pipeline, recorded, system) for one benchmark, cached."""
+    key = (name, tuple(sorted(params.items())))
+    if key not in _CACHE:
+        bench = get_benchmark(name, **params)
+        pipeline = ClapPipeline(bench.compile(), ClapConfig(**bench.config_kwargs()))
+        recorded = pipeline.record()
+        system = pipeline.analyze(recorded)
+        _CACHE[key] = (bench, pipeline, recorded, system)
+    return _CACHE[key]
+
+
+@pytest.fixture
+def artifacts():
+    return pipeline_artifacts
+
+
+def emit(filename, text):
+    """Print a rendered table and persist it under results/."""
+    print()
+    print(text)
+    path = save_result(filename, text)
+    print("[saved to %s]" % path)

@@ -1,0 +1,87 @@
+"""Figure 2 — the paper's running example.
+
+Two assertions in one program: ``assert1`` (the racy counter in main) is
+violated by an SC-reachable interleaving; ``assert2`` (message passing in
+t2) can only be violated when the writer's two stores drain out of order,
+i.e. under PSO.  This target demonstrates both, plus the negative
+direction: assert2 is NOT violable under SC or TSO.
+"""
+
+import pytest
+
+from repro.analysis.escape import shared_variables
+from repro.bench.programs import figure2
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.runtime.interpreter import run_program
+
+from conftest import emit
+
+
+def _assert2_line(bench):
+    return next(
+        i + 1
+        for i, line in enumerate(bench.source.splitlines())
+        if "assert(d == 1)" in line
+    )
+
+
+def _record_line(pipeline, line, seeds=2000):
+    for seed in range(seeds):
+        recorded = pipeline.record_once(seed)
+        if recorded.bug is not None and recorded.bug.line == line:
+            return recorded
+    return None
+
+
+def test_fig2_assert1_fails_under_sc(benchmark):
+    bench = figure2(memory_model="sc")
+    config = ClapConfig(**bench.config_kwargs())
+    pipeline = ClapPipeline(bench.compile(), config)
+
+    def once():
+        return pipeline.reproduce()
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert report.reproduced
+    assert "assert(c == 2)" in bench.source
+
+
+def test_fig2_assert2_fails_only_under_pso(benchmark):
+    bench = figure2(memory_model="pso")
+    config = ClapConfig(**bench.config_kwargs())
+    pipeline = ClapPipeline(bench.compile(), config)
+    line = _assert2_line(bench)
+
+    def once():
+        recorded = _record_line(pipeline, line)
+        assert recorded is not None, "assert2 never fired under PSO"
+        system = pipeline.analyze(recorded)
+        solved = pipeline.solve(system)
+        assert solved.ok
+        return pipeline.replay(solved.schedule, recorded.bug)
+
+    outcome = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert outcome.reproduced
+
+
+@pytest.mark.parametrize("model", ["sc", "tso"])
+def test_fig2_assert2_unreachable_on_stronger_models(benchmark, model):
+    bench = figure2(memory_model=model)
+    prog = bench.compile()
+    shared = shared_variables(prog)
+    line = _assert2_line(bench)
+
+    def sweep():
+        for seed in range(300):
+            res = run_program(
+                prog, model, seed=seed, shared=shared,
+                stickiness=0.4, flush_prob=0.05,
+            )
+            assert res.bug is None or res.bug.line != line, (model, seed)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "fig2_%s_negative.txt" % model,
+        "figure2 assert2 (message passing): 300 seeds under %s, 0 violations"
+        % model.upper(),
+    )

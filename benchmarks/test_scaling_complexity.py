@@ -1,0 +1,64 @@
+"""Empirical complexity scaling (paper Section 4.1).
+
+"The worst case complexity of our constraints is linear to the number of
+conditional branches and cubic to the number of shared data accesses."
+
+Two sweeps check that analysis empirically:
+
+* ``hot variable`` — all accesses hit one shared variable, the Frw worst
+  case: constraint count must grow super-quadratically in #SAPs;
+* ``branchy`` — thread-local branching scales while shared accesses stay
+  fixed: total constraint growth must stay ~linear in #branches.
+"""
+
+from repro.bench.workloads import (
+    fit_power,
+    format_sweep,
+    sweep_branches,
+    sweep_hot_variable,
+)
+
+from conftest import emit
+
+_RESULTS = {}
+
+
+def test_hot_variable_cubic_growth(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_hot_variable(sizes=(2, 4, 6, 8)), rounds=1, iterations=1
+    )
+    _RESULTS["hot"] = points
+    exponent = fit_power(points)
+    # Frw is 4·Nr·Nw² on one address: expect a clearly superquadratic fit.
+    assert exponent > 2.2, "measured exponent %.2f" % exponent
+    assert all(p.solved for p in points)
+
+
+def test_branchy_linear_growth(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_branches(sizes=(2, 6, 12, 20)), rounds=1, iterations=1
+    )
+    _RESULTS["branchy"] = points
+    exponent = fit_power(points, x_attr="n_branches", y_attr="n_constraints")
+    assert exponent < 1.5, "measured exponent %.2f" % exponent
+
+
+def test_scaling_render(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    parts = []
+    if "hot" in _RESULTS:
+        points = _RESULTS["hot"]
+        parts.append(format_sweep(points, "Scaling: racy accesses to one variable"))
+        parts.append(
+            "log-log exponent (constraints vs #SAPs): %.2f  (paper: cubic worst case)"
+            % fit_power(points)
+        )
+    if "branchy" in _RESULTS:
+        points = _RESULTS["branchy"]
+        parts.append("")
+        parts.append(format_sweep(points, "Scaling: thread-local branches"))
+        parts.append(
+            "log-log exponent (constraints vs #branches): %.2f  (paper: linear)"
+            % fit_power(points, x_attr="n_branches", y_attr="n_constraints")
+        )
+    emit("scaling_complexity.txt", "\n".join(parts))

@@ -1,0 +1,53 @@
+"""Table 2 — recording overhead and log size, CLAP vs LEAP.
+
+Regenerates the paper's Table 2 on production-scale workloads: each
+program runs natively, with the CLAP path recorder, and with the
+LEAP-style access-vector recorder, under the same scheduler seed.
+
+Expected shape (paper): CLAP's runtime overhead is a fraction of LEAP's
+everywhere (paper reports 10-93.9% overhead reduction, the largest gaps
+where shared accesses dominate, e.g. racey); CLAP's logs are 72-97.7%
+smaller.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table2
+from repro.bench.metrics import measure_overhead
+from repro.bench.programs import TABLE2_NAMES, TABLE2_PARAMS, get_benchmark
+
+from conftest import emit
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", TABLE2_NAMES)
+def test_table2_row(benchmark, name):
+    bench = get_benchmark(name, **TABLE2_PARAMS.get(name, {}))
+
+    def once():
+        return measure_overhead(bench)
+
+    row = benchmark.pedantic(once, rounds=1, iterations=1)
+    _ROWS[name] = row
+    # CLAP must beat LEAP on recording cost on every program.
+    assert row.clap_overhead_pct < row.leap_overhead_pct
+    # And its log must be smaller.
+    assert row.clap_log_bytes < row.leap_log_bytes
+
+
+def test_table2_render(benchmark):
+    missing = [n for n in TABLE2_NAMES if n not in _ROWS]
+    assert not missing, "rows missing (run the whole module): %s" % missing
+    rows = [_ROWS[n] for n in TABLE2_NAMES]
+    benchmark.pedantic(lambda: format_table2(rows), rounds=1, iterations=1)
+    emit("table2.txt", format_table2(rows))
+    # Aggregate shape: the paper reports ~45% mean time-overhead reduction
+    # and ~88% mean log-size reduction; require the direction with margin.
+    mean_time_red = sum(r.time_reduction_pct for r in rows) / len(rows)
+    mean_space_red = sum(r.space_reduction_pct for r in rows) / len(rows)
+    assert mean_time_red > 45.0
+    assert mean_space_red > 60.0
+    # racey (shared-access heavy) should show one of the largest gaps.
+    racey = _ROWS["racey"]
+    assert racey.leap_overhead_pct / max(racey.clap_overhead_pct, 0.1) > 5

@@ -1,0 +1,34 @@
+"""repro — a reproduction of CLAP (Huang, Zhang, Dolby; PLDI 2013).
+
+CLAP reproduces concurrency failures by recording only thread-local
+execution paths online, then computing a failure-inducing schedule offline
+with constraint solving.  See README.md for the architecture and DESIGN.md
+for the paper-to-repo mapping.
+
+Quickstart::
+
+    from repro import reproduce_bug
+
+    report = reproduce_bug(minilang_source, memory_model="sc")
+    assert report.reproduced
+    print(report.schedule, report.context_switches)
+"""
+
+from repro.core.clap import (
+    ClapConfig,
+    ClapPipeline,
+    ClapReport,
+    reproduce_bug,
+)
+from repro.minilang import compile_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClapConfig",
+    "ClapPipeline",
+    "ClapReport",
+    "reproduce_bug",
+    "compile_source",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Offline analyses: static shared-access detection and path-directed
+symbolic execution (CLAP's phase 2 front half)."""
+
+from repro.analysis.escape import shared_variables
+from repro.analysis.symbolic import (
+    Const,
+    Ite,
+    Sym,
+    SymExpr,
+    free_syms,
+    mk_binop,
+    mk_ite,
+    mk_not,
+    mk_unop,
+    sym_eval,
+)
+from repro.analysis.symexec import (
+    SymbolicExecutor,
+    SymExecError,
+    ThreadSummary,
+    execute_recorded_paths,
+)
+
+__all__ = [
+    "shared_variables",
+    "SymExpr",
+    "Sym",
+    "Const",
+    "Ite",
+    "mk_binop",
+    "mk_unop",
+    "mk_not",
+    "mk_ite",
+    "sym_eval",
+    "free_syms",
+    "SymbolicExecutor",
+    "SymExecError",
+    "ThreadSummary",
+    "execute_recorded_paths",
+]

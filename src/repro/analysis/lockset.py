@@ -1,0 +1,116 @@
+"""Eraser-style dynamic lockset race detection.
+
+A companion analysis (the paper's static Locksmith pass plays the SAP-
+shrinking role; see :mod:`repro.analysis.escape`): given one execution's
+SAP event stream, flag shared locations accessed with inconsistent lock
+protection.  Useful in two places:
+
+* tests cross-check that every benchmark's seeded bug is visible as a
+  lockset violation (or a pure ordering bug);
+* the examples use it to show which variables CLAP's constraints will have
+  to resolve races for.
+
+The algorithm is classic Eraser with a minimal state machine: a location
+starts *virgin*; accesses by a single thread keep it *exclusive*; the
+first second-thread access arms candidate-lockset refinement; an access
+with an empty candidate set reports a violation.  One standard refinement
+is included: when every *other* past accessor has exited (visible as exit
+SAPs in the stream), the location collapses back to exclusive ownership —
+this silences the classic fork/join false positive (main reading results
+after joining the workers).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.runtime import events as ev
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"  # shared read-only
+SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class LocationState:
+    addr: tuple
+    state: str = VIRGIN
+    owner: str | None = None
+    candidate_locks: set | None = None  # None = not yet refined
+    accessors: set = field(default_factory=set)
+    violated: bool = False
+    first_violation: tuple | None = None  # (thread, line)
+
+
+@dataclass
+class LocksetReport:
+    locations: dict = field(default_factory=dict)
+
+    def violations(self):
+        return sorted(
+            (state.addr for state in self.locations.values() if state.violated),
+            key=repr,
+        )
+
+
+def analyze_locksets(events):
+    """Run Eraser over a SAP event sequence (memory order).
+
+    ``events`` is an iterable of SAPs, e.g. ``ExecutionResult.events``.
+    Returns a :class:`LocksetReport`.
+    """
+    held = {}  # thread -> set of mutexes
+    exited = set()
+    report = LocksetReport()
+    for sap in events:
+        thread = sap.thread
+        if sap.kind == ev.LOCK:
+            held.setdefault(thread, set()).add(sap.addr)
+            continue
+        if sap.kind == ev.UNLOCK:
+            held.setdefault(thread, set()).discard(sap.addr)
+            continue
+        if sap.kind == ev.EXIT:
+            exited.add(thread)
+            continue
+        if not sap.is_data:
+            continue
+        loc = report.locations.get(sap.addr)
+        if loc is None:
+            loc = LocationState(addr=sap.addr)
+            report.locations[sap.addr] = loc
+        _access(loc, thread, sap, held.get(thread, set()), exited)
+    return report
+
+
+def _access(loc, thread, sap, locks, exited):
+    loc.accessors.add(thread)
+    # Last thread standing: if every other past accessor has exited, the
+    # location is exclusively owned again (fork/join ordering, not a race).
+    others = loc.accessors - {thread}
+    if others and others <= exited:
+        loc.state = EXCLUSIVE
+        loc.owner = thread
+        loc.candidate_locks = None
+        loc.accessors = {thread}
+    if loc.state == VIRGIN:
+        loc.state = EXCLUSIVE
+        loc.owner = thread
+        return
+    if loc.state == EXCLUSIVE:
+        if thread == loc.owner:
+            return
+        loc.state = SHARED_MODIFIED if sap.is_write else SHARED
+        loc.candidate_locks = set(locks)
+        _check(loc, thread, sap)
+        return
+    # SHARED / SHARED_MODIFIED: refine the candidate set.
+    if sap.is_write and loc.state == SHARED:
+        loc.state = SHARED_MODIFIED
+    loc.candidate_locks &= locks
+    _check(loc, thread, sap)
+
+
+def _check(loc, thread, sap):
+    if loc.state == SHARED_MODIFIED and not loc.candidate_locks and not loc.violated:
+        loc.violated = True
+        loc.first_violation = (thread, sap.line)

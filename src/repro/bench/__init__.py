@@ -1,0 +1,15 @@
+"""Benchmark programs and the experiment harness for the paper's tables."""
+
+from repro.bench.programs import (
+    BenchProgram,
+    all_benchmarks,
+    get_benchmark,
+    BENCHMARK_NAMES,
+)
+
+__all__ = [
+    "BenchProgram",
+    "all_benchmarks",
+    "get_benchmark",
+    "BENCHMARK_NAMES",
+]

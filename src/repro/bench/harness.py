@@ -1,0 +1,287 @@
+"""Experiment harness: regenerates every table of the paper's evaluation.
+
+Each ``run_tableN`` function returns structured rows and
+``format_tableN`` renders them as the aligned text the benchmark targets
+print (and write under ``results/``).
+"""
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.bench.metrics import measure_overhead, worst_case_schedules_log10
+from repro.bench.programs import (
+    TABLE1_NAMES,
+    TABLE2_NAMES,
+    TABLE2_PARAMS,
+    get_benchmark,
+)
+from repro.constraints.stats import compute_stats
+from repro.solver.parallel import solve_generate_validate
+from repro.solver.smt import solve_constraints
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+def _loc(source):
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 1 — bug-reproduction effectiveness
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    program: str
+    loc: int = 0
+    n_threads: int = 0
+    n_sv: int = 0
+    n_inst: int = 0
+    n_br: int = 0
+    n_saps: int = 0
+    n_constraints: int = 0
+    n_variables: int = 0
+    time_symbolic: float = 0.0
+    time_solve: float = 0.0
+    n_cs: int = -1
+    success: str = "N"
+    memory_model: str = "sc"
+    note: str = ""
+
+
+def run_table1_row(bench, solver="smt", max_cs=None):
+    """Run the full pipeline on one benchmark and fill a Table 1 row."""
+    row = Table1Row(program=bench.name, loc=_loc(bench.source))
+    row.memory_model = bench.memory_model
+    config = ClapConfig(solver=solver, **bench.config_kwargs())
+    if max_cs is not None:
+        config.max_cs = max_cs
+    pipeline = ClapPipeline(bench.compile(), config)
+    report = pipeline.reproduce()
+    row.n_threads = report.n_threads
+    row.n_sv = report.n_shared_vars
+    row.n_inst = report.n_instructions
+    row.n_br = report.n_branches
+    row.n_saps = report.n_saps
+    row.n_constraints = report.n_constraints
+    row.n_variables = report.n_variables
+    row.time_symbolic = report.time_symbolic
+    row.time_solve = report.time_solve
+    row.n_cs = report.context_switches
+    row.success = "Y" if report.reproduced else "N"
+    row.note = report.failure_reason
+    return row
+
+
+def run_table1(names=TABLE1_NAMES, solver="smt", params=None):
+    params = params or {}
+    rows = []
+    for name in names:
+        bench = get_benchmark(name, **params.get(name, {}))
+        rows.append(run_table1_row(bench, solver=solver))
+    return rows
+
+
+def format_table1(rows):
+    header = (
+        "Program",
+        "LOC",
+        "#Thr",
+        "#SV",
+        "#Inst",
+        "#Br",
+        "#SAPs",
+        "#Constr",
+        "#Vars",
+        "T-sym(s)",
+        "T-solve(s)",
+        "#cs",
+        "ok?",
+    )
+    lines = [_fmt_row(header)]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(
+            _fmt_row(
+                (
+                    r.program,
+                    r.loc,
+                    r.n_threads,
+                    r.n_sv,
+                    r.n_inst,
+                    r.n_br,
+                    r.n_saps,
+                    r.n_constraints,
+                    r.n_variables,
+                    "%.2f" % r.time_symbolic,
+                    "%.2f" % r.time_solve,
+                    r.n_cs,
+                    r.success,
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table 2 — runtime and space overhead, CLAP vs LEAP
+# --------------------------------------------------------------------------
+
+
+def run_table2(names=TABLE2_NAMES, params=None):
+    params = TABLE2_PARAMS if params is None else params
+    rows = []
+    for name in names:
+        bench = get_benchmark(name, **params.get(name, {}))
+        rows.append(measure_overhead(bench))
+    return rows
+
+
+def format_table2(rows):
+    header = (
+        "Program",
+        "Native(u)",
+        "LEAP ov%",
+        "CLAP ov%",
+        "T-red%",
+        "LEAP log",
+        "CLAP log",
+        "S-red%",
+    )
+    lines = [_fmt_row(header)]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(
+            _fmt_row(
+                (
+                    r.name,
+                    "%.0f" % r.native_units,
+                    "%.1f" % r.leap_overhead_pct,
+                    "%.1f" % r.clap_overhead_pct,
+                    "%.1f" % r.time_reduction_pct,
+                    _fmt_bytes(r.leap_log_bytes),
+                    _fmt_bytes(r.clap_log_bytes),
+                    "%.1f" % r.space_reduction_pct,
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table 3 — parallel constraint solving
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table3Row:
+    program: str
+    worst_log10: float = 0.0  # log10 of worst-case #schedules
+    generated: int = 0
+    cs_bound: int = 0
+    good: int = 0
+    time_par: float = 0.0
+    time_seq: float = 0.0
+    success: str = "N"
+    note: str = ""
+
+
+def run_table3_row(bench, workers=0, max_seconds=120.0, smt_max_seconds=None):
+    """Record once, then solve with both the generate-and-validate
+    algorithm (parallel column) and the SMT solver (sequential column)."""
+    row = Table3Row(program=bench.name)
+    config = ClapConfig(**bench.config_kwargs())
+    pipeline = ClapPipeline(bench.compile(), config)
+    recorded = pipeline.record()
+    system = pipeline.analyze(recorded)
+    row.worst_log10 = worst_case_schedules_log10(system.summaries)
+
+    gv = solve_generate_validate(
+        system, max_cs=config.max_cs, workers=workers, max_seconds=max_seconds
+    )
+    row.generated = gv.generated
+    row.good = gv.good
+    row.cs_bound = gv.context_switches if gv.ok else gv.rounds
+    row.time_par = gv.solve_time
+    row.success = "Y" if gv.ok else "N"
+    if not gv.ok:
+        row.note = gv.reason
+
+    smt = solve_constraints(system, max_seconds=smt_max_seconds)
+    row.time_seq = smt.solve_time
+    return row
+
+
+def run_table3(names=TABLE1_NAMES, workers=0, params=None, max_seconds=120.0):
+    params = params or {}
+    rows = []
+    for name in names:
+        bench = get_benchmark(name, **params.get(name, {}))
+        rows.append(run_table3_row(bench, workers=workers, max_seconds=max_seconds))
+    return rows
+
+
+def format_table3(rows):
+    header = (
+        "Program",
+        "#worst",
+        "#gen(#cs)",
+        "#good",
+        "Time-par",
+        "Time-seq",
+        "ok?",
+    )
+    lines = [_fmt_row(header)]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(
+            _fmt_row(
+                (
+                    r.program,
+                    "> 10^%.0f" % r.worst_log10,
+                    "%d(%d)" % (r.generated, r.cs_bound),
+                    r.good,
+                    "%.2fs" % r.time_par,
+                    "%.2fs" % r.time_seq,
+                    r.success,
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Formatting / persistence helpers
+# --------------------------------------------------------------------------
+
+
+def _fmt_row(values, width=10):
+    parts = []
+    for i, value in enumerate(values):
+        text = str(value)
+        parts.append(text.ljust(14) if i == 0 else text.rjust(width))
+    return "  ".join(parts)
+
+
+def _fmt_bytes(n):
+    if n >= 1 << 20:
+        return "%.1fM" % (n / (1 << 20))
+    if n >= 1 << 10:
+        return "%.1fK" % (n / (1 << 10))
+    return "%dB" % n
+
+
+def save_result(name, text):
+    """Write a rendered table under results/ (created on demand)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path

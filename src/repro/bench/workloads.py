@@ -1,0 +1,153 @@
+"""Parameter-sweep workloads: empirical complexity scaling (paper §4.1).
+
+The paper's complexity analysis: the total constraint size is
+approximately ``Nbr + Nsap^3`` — linear in the number of conditional
+branches and cubic in the number of shared accesses (Frw dominates, with
+its ``4·Nr·Nw^2`` worst case on a single hot variable).  This module
+measures that empirically: a family of workloads scales the number of
+racy accesses to one shared variable, and the sweep records #SAPs,
+#constraints and solve time at each size.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.constraints.stats import compute_stats
+from repro.minilang import compile_source
+from repro.solver.smt import solve_constraints
+
+HOT_VAR_TEMPLATE = """
+int c = 0;
+void worker(int n) {
+    for (int i = 0; i < n; i++) {
+        int r = c;
+        c = r + 1;
+    }
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn worker(%d);
+    t2 = spawn worker(%d);
+    join(t1);
+    join(t2);
+    assert(c == %d);
+    return 0;
+}
+"""
+
+BRANCHY_TEMPLATE = """
+int c = 0;
+void worker(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        int r = c;
+        if (r %% 2 == 0) { acc = acc + 2; } else { acc = acc - 1; }
+        if (r + i > 3) { acc = acc * 2; }
+    }
+    int w = c;
+    c = w + acc;
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn worker(%d);
+    t2 = spawn worker(%d);
+    join(t1);
+    join(t2);
+    assert(c == 0);
+    return 0;
+}
+"""
+
+
+@dataclass
+class ScalePoint:
+    size: int
+    n_saps: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+    n_constraints: int = 0
+    n_branches: int = 0
+    solve_time: float = 0.0
+    solved: bool = False
+
+
+def sweep_hot_variable(sizes=(2, 4, 6, 8), solve=True, max_seconds=60.0):
+    """Scale racy accesses to one variable: Frw must grow ~cubically."""
+    points = []
+    for n in sizes:
+        src = HOT_VAR_TEMPLATE % (n, n, 2 * n)
+        pipeline = ClapPipeline(
+            compile_source(src, name="hot%d" % n), ClapConfig(stickiness=0.3)
+        )
+        recorded = pipeline.record()
+        system = pipeline.analyze(recorded)
+        stats = compute_stats(system)
+        point = ScalePoint(
+            size=n,
+            n_saps=stats.n_saps,
+            n_reads=sum(1 for s in system.saps.values() if s.is_read),
+            n_writes=sum(1 for s in system.saps.values() if s.is_write),
+            n_constraints=stats.n_constraints,
+            n_branches=recorded.result.total_branches(),
+        )
+        if solve:
+            result = solve_constraints(system, max_seconds=max_seconds)
+            point.solved = result.ok
+            point.solve_time = result.solve_time
+        points.append(point)
+    return points
+
+
+def sweep_branches(sizes=(2, 6, 12, 20)):
+    """Scale branching on shared reads while keeping writes fixed:
+    constraint growth must stay ~linear (each branch adds one path
+    condition; Frw grows with Nr but Nw stays constant)."""
+    points = []
+    for n in sizes:
+        src = BRANCHY_TEMPLATE % (n, n)
+        pipeline = ClapPipeline(
+            compile_source(src, name="branchy%d" % n), ClapConfig(stickiness=0.3)
+        )
+        recorded = pipeline.record()
+        system = pipeline.analyze(recorded)
+        stats = compute_stats(system)
+        points.append(
+            ScalePoint(
+                size=n,
+                n_saps=stats.n_saps,
+                n_constraints=stats.n_constraints
+                + stats.n_path_condition_nodes,
+                n_branches=recorded.result.total_branches(),
+            )
+        )
+    return points
+
+
+def fit_power(points, x_attr="n_saps", y_attr="n_constraints"):
+    """Least-squares exponent of y ~ x^k over the sweep (log-log fit)."""
+    import math
+
+    xs = [math.log(getattr(p, x_attr)) for p in points]
+    ys = [math.log(max(getattr(p, y_attr), 1)) for p in points]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def format_sweep(points, title):
+    lines = [title]
+    lines.append(
+        "%6s %8s %8s %8s %12s %10s"
+        % ("size", "#SAPs", "#reads", "#writes", "#constraints", "t-solve")
+    )
+    for p in points:
+        lines.append(
+            "%6d %8d %8d %8d %12d %9.2fs"
+            % (p.size, p.n_saps, p.n_reads, p.n_writes, p.n_constraints, p.solve_time)
+        )
+    return "\n".join(lines)

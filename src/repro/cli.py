@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        Execute a MiniLang program once under a seeded scheduler.
+record     Search seeds for a failing run and dump the CLAP path logs.
+reproduce  Full pipeline: record, solve, replay; prints the schedule.
+disasm     Show the compiled bytecode of every function.
+trace      Decode and print a thread-local path log against its program.
+bench      Regenerate a table of the paper's evaluation (1, 2 or 3).
+litmus     Run the memory-model litmus suite and print observed outcomes.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.minilang import compile_source
+
+
+def _load_program(path):
+    with open(path) as fh:
+        source = fh.read()
+    return compile_source(source, name=path)
+
+
+def cmd_run(args):
+    from repro.runtime.interpreter import run_program
+
+    program = _load_program(args.program)
+    result = run_program(
+        program,
+        args.memory_model,
+        seed=args.seed,
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+    )
+    for thread, values in result.output:
+        print("[%s] %s" % (thread, " ".join(str(v) for v in values)))
+    print("steps=%d threads=%d saps=%d" % (
+        result.steps, len(result.thread_names), result.total_saps()))
+    if result.bug is not None:
+        print("FAILURE:", result.bug)
+        return 1
+    if result.aborted:
+        print("aborted:", result.aborted)
+        return 2
+    print("ok; final globals:")
+    for addr, value in sorted(result.final_globals.items(), key=repr):
+        print("  %s = %d" % (".".join(str(a) for a in addr), value))
+    return 0
+
+
+def cmd_record(args):
+    from repro.core.clap import ClapConfig, ClapPipeline
+
+    program = _load_program(args.program)
+    config = ClapConfig(
+        memory_model=args.memory_model,
+        seeds=range(args.max_seeds),
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+    )
+    pipeline = ClapPipeline(program, config)
+    recorded = pipeline.record()
+    print("failure:", recorded.bug)
+    print("seed:", recorded.seed)
+    logs = recorded.recorder.encoded_logs()
+    total = 0
+    for thread, data in sorted(logs.items()):
+        print("thread %-8s %5d bytes" % (thread, len(data)))
+        total += len(data)
+    print("total log: %d bytes" % total)
+    if args.out:
+        payload = {t: data.hex() for t, data in logs.items()}
+        with open(args.out, "w") as fh:
+            json.dump({"seed": recorded.seed, "logs": payload}, fh, indent=2)
+        print("written to", args.out)
+    return 0
+
+
+def cmd_reproduce(args):
+    from repro.core.clap import ClapConfig, ClapPipeline
+
+    program = _load_program(args.program)
+    config = ClapConfig(
+        memory_model=args.memory_model,
+        solver=args.solver,
+        seeds=range(args.max_seeds),
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+        workers=args.workers,
+    )
+    report = ClapPipeline(program, config).reproduce()
+    print("failure      :", report.bug)
+    print("reproduced   :", report.reproduced)
+    print("log bytes    :", report.log_bytes)
+    print("SAPs         :", report.n_saps)
+    print("constraints  :", report.n_constraints)
+    print("variables    :", report.n_variables)
+    print("solve time   : %.2fs (%s)" % (report.time_solve, report.solver))
+    print("context sw.  :", report.context_switches)
+    if report.schedule:
+        print("schedule     :")
+        print("  " + " -> ".join("%s#%d" % uid for uid in report.schedule))
+    if not report.reproduced:
+        print("FAILED:", report.failure_reason)
+        return 1
+    return 0
+
+
+def cmd_disasm(args):
+    program = _load_program(args.program)
+    for name in sorted(program.functions):
+        print(program.functions[name].dump())
+        print()
+    return 0
+
+
+def cmd_trace(args):
+    from repro.core.clap import ClapConfig, ClapPipeline
+    from repro.tracing.decoder import decode_log
+
+    program = _load_program(args.program)
+    config = ClapConfig(
+        memory_model=args.memory_model,
+        seeds=range(args.max_seeds),
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+    )
+    pipeline = ClapPipeline(program, config)
+    recorded = pipeline.record() if args.buggy else pipeline.record_once(args.seed)
+    decoded = decode_log(recorded.recorder)
+
+    def show(node, depth):
+        flag = "" if node.complete else "  [stopped at block %s ip %s]" % (
+            node.stop_block,
+            node.stop_ip,
+        )
+        print("%s%s: blocks %s%s" % ("  " * depth, node.func, node.blocks, flag))
+        for child in node.calls:
+            show(child, depth + 1)
+
+    for thread in sorted(decoded):
+        print("thread", thread)
+        show(decoded[thread].root, 1)
+    return 0
+
+
+def cmd_bench(args):
+    from repro.bench import harness
+
+    if args.table == 1:
+        rows = harness.run_table1()
+        text = harness.format_table1(rows)
+    elif args.table == 2:
+        rows = harness.run_table2()
+        text = harness.format_table2(rows)
+    else:
+        rows = harness.run_table3(workers=args.workers)
+        text = harness.format_table3(rows)
+    print(text)
+    if args.out:
+        harness.save_result(args.out, text)
+    return 0
+
+
+def cmd_litmus(args):
+    from repro.runtime.litmus import LITMUS_TESTS, run_litmus
+
+    for name in sorted(LITMUS_TESTS):
+        for model in ("sc", "tso", "pso"):
+            result = run_litmus(name, model, seeds=range(args.runs))
+            outcomes = ", ".join(str(o) for o in sorted(result.outcomes))
+            print("%-5s %-4s -> %s" % (name, model, outcomes))
+    return 0
+
+
+def _common_run_flags(sub):
+    sub.add_argument("program", help="MiniLang source file")
+    sub.add_argument("--memory-model", default="sc", choices=["sc", "tso", "pso"])
+    sub.add_argument("--stickiness", type=float, default=0.5)
+    sub.add_argument("--flush-prob", type=float, default=0.25)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CLAP concurrency-failure reproduction (PLDI 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="execute a program once")
+    _common_run_flags(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("record", help="record a failing run's path logs")
+    _common_run_flags(p)
+    p.add_argument("--max-seeds", type=int, default=500)
+    p.add_argument("--out", help="write logs as JSON")
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("reproduce", help="record, solve and replay a failure")
+    _common_run_flags(p)
+    p.add_argument("--solver", default="smt", choices=["smt", "genval"])
+    p.add_argument("--max-seeds", type=int, default=500)
+    p.add_argument("--workers", type=int, default=0)
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("disasm", help="dump compiled bytecode")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("trace", help="decode a recorded path log")
+    _common_run_flags(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--buggy", action="store_true", help="search for a failing run")
+    p.add_argument("--max-seeds", type=int, default=500)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("bench", help="regenerate a paper table")
+    p.add_argument("table", type=int, choices=[1, 2, 3])
+    p.add_argument("--workers", type=int, default=0)
+    p.add_argument("--out", help="filename under results/")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("litmus", help="run the memory-model litmus suite")
+    p.add_argument("--runs", type=int, default=300)
+    p.set_defaults(func=cmd_litmus)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

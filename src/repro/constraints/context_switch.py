@@ -1,0 +1,58 @@
+"""Thread context-switch accounting (paper Section 4.2).
+
+The paper bounds and minimizes *preemptive* context switches by grouping
+each thread's SAPs into segments delimited by must-interleave operations
+(wait, join, exit — operations after/before which a switch is forced, not
+preemptive) and counting the segments that end up interleaved in the
+schedule.
+
+``count_context_switches(schedule, summaries)`` implements exactly that
+formula: the number of segments whose SAPs are not contiguous in the
+schedule.  It is used both to report the ``#cs`` column of Table 1 and as
+the bound check during preemption-bounded schedule generation.
+"""
+
+from repro.runtime import events as ev
+
+# Kinds that delimit segments: switching at these points is forced.
+_MUST_INTERLEAVE = ev.MUST_INTERLEAVE_KINDS
+
+
+def thread_segments(saps):
+    """Split one thread's program-order SAP list into segments.
+
+    Each must-interleave SAP closes the current segment (it becomes the
+    segment's last element); the next SAP opens a new one.  Fork is
+    included because the child's start makes a switch after it
+    non-preemptive; start delimits trivially as the first SAP.
+    """
+    segments = []
+    current = []
+    for sap in saps:
+        current.append(sap.uid)
+        if sap.kind in _MUST_INTERLEAVE:
+            segments.append(current)
+            current = []
+    if current:
+        segments.append(current)
+    return segments
+
+
+def count_context_switches(schedule, summaries):
+    """Number of interleaved segments == preemptive context switches.
+
+    ``schedule`` is a SAP-uid sequence; a segment is *interleaved* when, in
+    the schedule, some other thread's SAP falls between its first and last
+    SAPs.
+    """
+    position = {uid: i for i, uid in enumerate(schedule)}
+    switches = 0
+    for thread, summary in summaries.items():
+        for segment in thread_segments(summary.saps):
+            inside = [position[uid] for uid in segment if uid in position]
+            if len(inside) <= 1:
+                continue
+            lo, hi = min(inside), max(inside)
+            if hi - lo > len(inside) - 1:
+                switches += 1
+    return switches

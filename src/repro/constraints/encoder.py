@@ -1,0 +1,78 @@
+"""Top-level constraint encoder: F = Fpath ∧ Fbug ∧ Fso ∧ Frw ∧ Fmo."""
+
+from repro.constraints.memory_order import encode_memory_order
+from repro.constraints.model import ConstraintSystem
+from repro.constraints.rw import encode_read_write
+from repro.constraints.sync_order import encode_sync_order
+
+
+class EncodingError(Exception):
+    pass
+
+
+def encode(summaries, memory_model, symbols, shared, preexisting=frozenset(), preexited=frozenset()):
+    """Encode one recorded execution into a :class:`ConstraintSystem`.
+
+    Parameters
+    ----------
+    summaries : {thread: ThreadSummary}
+        Output of the symbolic execution phase.
+    memory_model : 'sc' | 'tso' | 'pso'
+        Model under which the buggy execution happened — Fmo's parameter.
+    symbols : SymbolTable
+        For initial memory values.
+    shared : set of shared global names (for initial values of SAP addrs).
+    preexisting / preexited : thread names that started / exited before a
+        checkpoint, when encoding a checkpointed suffix (the initial
+        values should then come from the snapshot — the caller overwrites
+        ``system.initial_values`` accordingly).
+    """
+    system = ConstraintSystem(
+        memory_model=memory_model,
+        summaries=summaries,
+        preexisting=frozenset(preexisting),
+        preexited=frozenset(preexited),
+    )
+
+    for summary in summaries.values():
+        for sap in summary.saps:
+            system.saps[sap.uid] = sap
+        system.conditions.extend(summary.conditions)
+        if summary.bug_expr is not None:
+            system.bug_exprs.append(summary.bug_expr)
+    if not system.bug_exprs:
+        raise EncodingError(
+            "no bug predicate: the failure was not found on any recorded path"
+        )
+
+    # Initial memory values for every shared address.
+    for info in symbols.globals.values():
+        if not info.is_data or info.name not in shared:
+            continue
+        if info.is_array:
+            for i in range(info.size):
+                system.initial_values[(info.name, i)] = 0
+        else:
+            system.initial_values[(info.name,)] = info.init
+
+    # Fmo.
+    mo_edges, per_thread = encode_memory_order(summaries, memory_model)
+    system.hard_edges.extend(mo_edges)
+    system.thread_order = per_thread
+
+    # Fso.
+    so_hard, so_clauses, so_amo, sw_candidates = encode_sync_order(
+        summaries, preexited=system.preexited
+    )
+    system.hard_edges.extend(so_hard)
+    system.clauses.extend(so_clauses)
+    system.at_most_one.extend(so_amo)
+    system.sw_candidates = sw_candidates
+
+    # Frw.
+    rw_clauses, rw_eo, rf_candidates = encode_read_write(summaries)
+    system.clauses.extend(rw_clauses)
+    system.exactly_one.extend(rw_eo)
+    system.rf_candidates = rf_candidates
+
+    return system

@@ -1,0 +1,125 @@
+"""Memory-order constraints Fmo for SC, TSO and PSO (paper Section 3.2).
+
+Per thread, Fmo is a set of unconditional edges ``O_a < O_b`` over that
+thread's SAPs:
+
+SC
+    the full program-order chain (adjacent SAP pairs).
+
+TSO
+    store->load order is relaxed; everything else is preserved:
+
+    * the chain over [reads + syncs]               (R->R, and fencing),
+    * the chain over [writes + syncs]              (W->W, and fencing),
+    * an edge from the nearest preceding read/sync to each write (R->W),
+    * for each read, an edge from the nearest preceding same-address write
+      and to the nearest following same-address write (the paper's
+      same-address treatment, which also pins store-forwarding pairs).
+
+PSO
+    additionally relaxes store->store to *different* addresses: the write
+    chain becomes one chain per address (still threaded through syncs).
+
+Note: the paper's prose says PSO also removes the order "between Reads on
+different addresses"; SPARC PSO (and our store-buffer runtime) preserve
+load-load order, so we keep the read chain for PSO — this is the sound
+choice for replayability on our substrate (documented in DESIGN.md).
+
+Synchronization SAPs appear in every chain, which makes them full fences
+transitively — matching the runtime, where sync operations drain the store
+buffer.
+"""
+
+from repro.runtime import events as ev
+from repro.runtime.memory import PSO, SC, TSO
+from repro.constraints.model import OLt
+
+
+def _chain(uids):
+    return [OLt(a, b) for a, b in zip(uids, uids[1:])]
+
+
+def thread_memory_order(saps, memory_model):
+    """Fmo edges for one thread's program-order SAP list."""
+    if memory_model == SC:
+        return _chain([s.uid for s in saps])
+    if memory_model == TSO:
+        return _relaxed_order(saps, per_address_writes=False)
+    if memory_model == PSO:
+        return _relaxed_order(saps, per_address_writes=True)
+    raise ValueError("unknown memory model %r" % memory_model)
+
+
+def _relaxed_order(saps, per_address_writes):
+    edges = []
+    seen = set()
+
+    def add(a, b):
+        if (a, b) not in seen:
+            seen.add((a, b))
+            edges.append(OLt(a, b))
+
+    # Chain over reads + syncs.
+    rs = [s for s in saps if s.is_read or not s.is_data]
+    for a, b in zip(rs, rs[1:]):
+        add(a.uid, b.uid)
+
+    # Write chains (global for TSO; per address for PSO), threaded through
+    # syncs so they act as fences.  yield is NOT a fence (sched_yield has no
+    # barrier semantics): buffered stores may drain past it.
+    def fences(s):
+        return not s.is_data and s.kind != ev.YIELD
+
+    if per_address_writes:
+        addrs = sorted({s.addr for s in saps if s.is_write}, key=repr)
+        for addr in addrs:
+            ws = [s for s in saps if (s.is_write and s.addr == addr) or fences(s)]
+            for a, b in zip(ws, ws[1:]):
+                add(a.uid, b.uid)
+    else:
+        ws = [s for s in saps if s.is_write or fences(s)]
+        for a, b in zip(ws, ws[1:]):
+            add(a.uid, b.uid)
+
+    # R->W: each write is ordered after the nearest preceding read or fence
+    # (stores are not speculative; yields do not constrain them).
+    last_rs = None
+    for sap in saps:
+        if sap.is_write:
+            if last_rs is not None:
+                add(last_rs.uid, sap.uid)
+        elif sap.is_read or fences(sap):
+            last_rs = sap
+
+    # Same-address read/write adjacency (paper: "find the two Writes that
+    # access the same address ... immediately before and after the Read").
+    last_write_at = {}
+    for sap in saps:
+        if sap.is_read:
+            prev = last_write_at.get(sap.addr)
+            if prev is not None:
+                add(prev.uid, sap.uid)
+        elif sap.is_write:
+            last_write_at[sap.addr] = sap
+    next_write_at = {}
+    for sap in reversed(saps):
+        if sap.is_read:
+            nxt = next_write_at.get(sap.addr)
+            if nxt is not None:
+                add(sap.uid, nxt.uid)
+        elif sap.is_write:
+            next_write_at[sap.addr] = sap
+
+    return edges
+
+
+def encode_memory_order(summaries, memory_model):
+    """Fmo for the whole execution; also returns the per-thread edge map
+    used by the schedule generators (the "SAP-tree" of Section 4.3)."""
+    all_edges = []
+    per_thread = {}
+    for thread, summary in summaries.items():
+        edges = thread_memory_order(summary.saps, memory_model)
+        per_thread[thread] = [(e.a, e.b) for e in edges]
+        all_edges.extend(edges)
+    return all_edges, per_thread

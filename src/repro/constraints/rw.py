@@ -1,0 +1,79 @@
+"""Read-write constraints Frw (paper Section 3.2).
+
+For every read ``r`` on address ``A`` with writes ``W = {w1..wn}`` on ``A``:
+
+* ``r`` reads from exactly one source — some ``wi`` or the initial value;
+* choosing ``wi`` requires ``O_wi < O_r`` and, for every other ``wj``,
+  ``O_wj < O_wi ∨ O_r < O_wj`` (no write in between);
+* choosing the initial value requires ``O_r < O_wj`` for every write
+  (the paper's first case: the read precedes all writes).
+
+Same-thread candidates are pruned when program order already contradicts
+them (a read can never return a same-thread write that program-order
+follows it, under any of SC/TSO/PSO — R->W order is preserved by all
+three).  The worst-case size is 4·Nr·Nw², cubic in the number of SAPs,
+which is the paper's complexity analysis.
+"""
+
+from repro.constraints.model import INIT, Clause, ExactlyOne, Lit, OLt, RFChoice
+
+
+def encode_read_write(summaries):
+    """Build Frw.  Returns (clauses, exactly_one, rf_candidates)."""
+    clauses = []
+    exactly_one = []
+    rf_candidates = {}
+
+    reads_by_addr = {}
+    writes_by_addr = {}
+    for summary in summaries.values():
+        for sap in summary.saps:
+            if sap.is_read:
+                reads_by_addr.setdefault(sap.addr, []).append(sap)
+            elif sap.is_write:
+                writes_by_addr.setdefault(sap.addr, []).append(sap)
+
+    for addr, reads in sorted(reads_by_addr.items(), key=lambda kv: repr(kv[0])):
+        writes = writes_by_addr.get(addr, [])
+        for read in reads:
+            candidates = [
+                w
+                for w in writes
+                if not (w.thread == read.thread and w.index > read.index)
+            ]
+            sources = [w.uid for w in candidates] + [INIT]
+            rf_candidates[read.uid] = sources
+            lits = []
+            for w in candidates:
+                choice = RFChoice(read.uid, w.uid)
+                lits.append(Lit(choice))
+                clauses.append(
+                    Clause(
+                        [Lit(choice, False), Lit(OLt(w.uid, read.uid))],
+                        origin="rf-before",
+                    )
+                )
+                for other in candidates:
+                    if other is w:
+                        continue
+                    clauses.append(
+                        Clause(
+                            [
+                                Lit(choice, False),
+                                Lit(OLt(other.uid, w.uid)),
+                                Lit(OLt(read.uid, other.uid)),
+                            ],
+                            origin="rf-nomid",
+                        )
+                    )
+            init_choice = RFChoice(read.uid, INIT)
+            lits.append(Lit(init_choice))
+            for w in candidates:
+                clauses.append(
+                    Clause(
+                        [Lit(init_choice, False), Lit(OLt(read.uid, w.uid))],
+                        origin="rf-init",
+                    )
+                )
+            exactly_one.append(ExactlyOne(lits, origin="rf-one"))
+    return clauses, exactly_one, rf_candidates

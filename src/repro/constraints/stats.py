@@ -1,0 +1,52 @@
+"""Constraint-size statistics — the ``#Constraints``/``#Variables`` columns
+of Table 1."""
+
+from dataclasses import dataclass
+
+from repro.analysis.symbolic import expr_size
+
+
+@dataclass
+class ConstraintStats:
+    n_saps: int = 0
+    n_order_vars: int = 0
+    n_value_vars: int = 0
+    n_choice_vars: int = 0
+    n_hard_edges: int = 0
+    n_clauses: int = 0
+    n_clause_lits: int = 0
+    n_path_conditions: int = 0
+    n_path_condition_nodes: int = 0
+
+    @property
+    def n_constraints(self):
+        """Total clause count, the analogue of the paper's '#Constraints'."""
+        return self.n_hard_edges + self.n_clauses + self.n_path_conditions
+
+    @property
+    def n_variables(self):
+        return self.n_order_vars + self.n_value_vars + self.n_choice_vars
+
+
+def compute_stats(system):
+    """Measure a :class:`~repro.constraints.model.ConstraintSystem`."""
+    stats = ConstraintStats()
+    stats.n_saps = len(system.saps)
+    stats.n_order_vars = system.num_order_vars()
+    stats.n_value_vars = system.num_value_vars()
+    stats.n_choice_vars = sum(len(c) for c in system.rf_candidates.values()) + sum(
+        len(c) for c in system.sw_candidates.values()
+    )
+    stats.n_hard_edges = len(system.hard_edges)
+    groups = (
+        system.clauses
+        + [c for c in system.exactly_one]
+        + [c for c in system.at_most_one]
+    )
+    stats.n_clauses = len(groups)
+    stats.n_clause_lits = sum(len(c.lits) for c in groups)
+    stats.n_path_conditions = len(system.conditions) + len(system.bug_exprs)
+    stats.n_path_condition_nodes = sum(
+        expr_size(c.expr) for c in system.conditions
+    ) + sum(expr_size(e) for e in system.bug_exprs)
+    return stats

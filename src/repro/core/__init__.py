@@ -1,0 +1,17 @@
+"""The CLAP pipeline: record, analyze, solve, replay."""
+
+from repro.core.clap import (
+    ClapConfig,
+    ClapPipeline,
+    ClapReport,
+    RecordedExecution,
+    reproduce_bug,
+)
+
+__all__ = [
+    "ClapConfig",
+    "ClapPipeline",
+    "ClapReport",
+    "RecordedExecution",
+    "reproduce_bug",
+]

@@ -1,0 +1,41 @@
+"""MiniLang: a small concurrent imperative language.
+
+MiniLang is the program substrate for this CLAP reproduction.  The paper's
+prototype instruments C/C++ programs through LLVM; here, benchmark programs
+are written in MiniLang, compiled to a CFG-structured bytecode, and executed
+by a scheduler-controlled interpreter (see :mod:`repro.runtime`).
+
+The language offers exactly the features the CLAP constraint theory cares
+about: global (potentially shared) scalar and array variables, functions,
+structured control flow, thread spawn/join, mutexes, condition variables,
+and assertions.
+"""
+
+from repro.minilang.ast_nodes import Program
+from repro.minilang.compiler import CompiledProgram, compile_program
+from repro.minilang.errors import (
+    MiniLangError,
+    ParseError,
+    LexError,
+    CompileError,
+)
+from repro.minilang.lexer import tokenize
+from repro.minilang.parser import parse_program
+
+__all__ = [
+    "Program",
+    "CompiledProgram",
+    "compile_program",
+    "compile_source",
+    "MiniLangError",
+    "ParseError",
+    "LexError",
+    "CompileError",
+    "tokenize",
+    "parse_program",
+]
+
+
+def compile_source(source, name="<minilang>"):
+    """Parse and compile MiniLang ``source`` into a :class:`CompiledProgram`."""
+    return compile_program(parse_program(source, name=name))

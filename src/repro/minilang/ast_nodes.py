@@ -1,0 +1,251 @@
+"""AST node definitions for MiniLang.
+
+All nodes are plain dataclasses carrying a source position (``line``,
+``column``) so later phases (semantic analysis, symbolic execution, bug
+reporting) can point back at source locations.
+
+Notes on semantics:
+
+* ``&&`` and ``||`` are *strict* (non-short-circuit) boolean operators.  This
+  keeps one source-level condition as one CFG branch, which keeps Ball-Larus
+  path profiles and path constraints aligned with the source.
+* ``spawn f(args)`` starts a new thread running ``f`` and evaluates to an
+  integer thread handle; ``join e`` blocks until the thread named by handle
+  ``e`` exits.
+* Global declarations may be prefixed with ``shared`` or ``local`` to force
+  the classification used by the static escape analysis; unprefixed globals
+  are classified by the analysis itself.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class Name(Expr):
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-' or '!'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: list
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list
+
+
+@dataclass
+class LocalDecl(Stmt):
+    type: str  # 'int' or 'bool'
+    name: str
+    init: Expr | None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Index.
+
+    Compound assignments (``+=`` etc.) and ``++``/``--`` are desugared by the
+    parser into plain assignments, so ``op`` is always ``'='`` here.
+    """
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Block
+    els: Block | None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Spawn(Stmt):
+    """``target = spawn f(args);`` or ``spawn f(args);``"""
+
+    target: str | None
+    func: str
+    args: list
+
+
+@dataclass
+class Join(Stmt):
+    handle: Expr
+
+
+@dataclass
+class LockStmt(Stmt):
+    name: str
+
+
+@dataclass
+class UnlockStmt(Stmt):
+    name: str
+
+
+@dataclass
+class WaitStmt(Stmt):
+    cond: str
+    mutex: str
+
+
+@dataclass
+class SignalStmt(Stmt):
+    cond: str
+
+
+@dataclass
+class BroadcastStmt(Stmt):
+    cond: str
+
+
+@dataclass
+class AssertStmt(Stmt):
+    cond: Expr
+    message: str = ""
+
+
+@dataclass
+class AssumeStmt(Stmt):
+    cond: Expr
+
+
+@dataclass
+class YieldStmt(Stmt):
+    pass
+
+
+@dataclass
+class PrintStmt(Stmt):
+    args: list
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl(Node):
+    """A global variable, mutex, or condition variable declaration."""
+
+    type: str  # 'int', 'bool', 'mutex', 'cond'
+    name: str
+    size: int | None = None  # array length for 'int'/'bool' arrays
+    init: Expr | None = None
+    sharing: str = "auto"  # 'auto', 'shared', or 'local'
+
+    @property
+    def is_array(self):
+        return self.size is not None
+
+
+@dataclass
+class Param(Node):
+    type: str  # 'int' or 'bool'
+    name: str
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: list
+    ret_type: str  # 'int', 'bool', or 'void'
+    body: Block = None
+
+
+@dataclass
+class Program(Node):
+    name: str
+    globals: list
+    functions: list
+
+    def function(self, name):
+        """Return the FuncDef named ``name`` or raise KeyError."""
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def global_decl(self, name):
+        """Return the GlobalDecl named ``name`` or raise KeyError."""
+        for g in self.globals:
+            if g.name == name:
+                return g
+        raise KeyError(name)

@@ -1,0 +1,163 @@
+"""Bytecode and CFG structures for compiled MiniLang.
+
+A compiled function is a control-flow graph of :class:`BasicBlock` objects.
+Each block holds straight-line :class:`Instr` instructions and ends with a
+terminator (``JUMP``, ``BRANCH`` or ``RET``).  The explicit CFG is what the
+Ball-Larus path profiler (:mod:`repro.tracing.ball_larus`) instruments and
+what the symbolic executor walks.
+
+The machine is a per-frame operand stack machine.  Stack effects:
+
+====================  =======================================================
+op                    effect
+====================  =======================================================
+CONST v               push v
+LOAD_LOCAL n          push frame.locals[n]
+STORE_LOCAL n         pop -> frame.locals[n]
+LOAD_GLOBAL n         push global n                   (shared-read SAP)
+STORE_GLOBAL n        pop -> global n                 (shared-write SAP)
+LOAD_ELEM n           pop i; push global n[i]         (shared-read SAP)
+STORE_ELEM n          pop v; pop i; global n[i] = v   (shared-write SAP)
+BINOP op              pop r; pop l; push l op r
+UNOP op               pop v; push op v
+POP                   pop
+JUMP b                goto block b
+BRANCH bt bf          pop c; goto bt if c else bf
+CALL f k              pop k args; push return value
+RET                   pop return value; return to caller
+SPAWN f k             pop k args; push thread handle  (sync SAP)
+JOIN                  pop handle; block until exit    (sync SAP)
+LOCK m / UNLOCK m     mutex ops                       (sync SAPs)
+WAIT c m              condvar wait                    (sync SAP)
+SIGNAL c/BROADCAST c  condvar ops                     (sync SAPs)
+ASSERT msg            pop c; record bug if !c
+ASSUME                pop c; abandon execution if !c
+YIELD                 scheduling hint
+PRINT k               pop k values; emit output event
+====================  =======================================================
+"""
+
+from dataclasses import dataclass, field
+
+# Opcode name constants (spelled once, referenced everywhere).
+CONST = "CONST"
+LOAD_LOCAL = "LOAD_LOCAL"
+STORE_LOCAL = "STORE_LOCAL"
+LOAD_GLOBAL = "LOAD_GLOBAL"
+STORE_GLOBAL = "STORE_GLOBAL"
+LOAD_ELEM = "LOAD_ELEM"
+STORE_ELEM = "STORE_ELEM"
+BINOP = "BINOP"
+UNOP = "UNOP"
+POP = "POP"
+JUMP = "JUMP"
+BRANCH = "BRANCH"
+CALL = "CALL"
+RET = "RET"
+SPAWN = "SPAWN"
+JOIN = "JOIN"
+LOCK = "LOCK"
+UNLOCK = "UNLOCK"
+WAIT = "WAIT"
+SIGNAL = "SIGNAL"
+BROADCAST = "BROADCAST"
+ASSERT = "ASSERT"
+ASSUME = "ASSUME"
+YIELD = "YIELD"
+PRINT = "PRINT"
+
+TERMINATORS = frozenset({JUMP, BRANCH, RET})
+
+# Opcodes that access a global memory location (candidate SAPs).
+GLOBAL_READS = frozenset({LOAD_GLOBAL, LOAD_ELEM})
+GLOBAL_WRITES = frozenset({STORE_GLOBAL, STORE_ELEM})
+
+# Synchronization opcodes (always SAPs when they touch shared sync objects).
+SYNC_OPS = frozenset({SPAWN, JOIN, LOCK, UNLOCK, WAIT, SIGNAL, BROADCAST})
+
+
+@dataclass
+class Instr:
+    """One bytecode instruction.
+
+    ``arg``/``arg2`` meaning depends on ``op`` (see module docstring);
+    ``line`` is the source line for diagnostics.
+    """
+
+    op: str
+    arg: object = None
+    arg2: object = None
+    line: int = 0
+
+    def __repr__(self):
+        parts = [self.op]
+        if self.arg is not None:
+            parts.append(repr(self.arg))
+        if self.arg2 is not None:
+            parts.append(repr(self.arg2))
+        return " ".join(parts)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in a terminator."""
+
+    id: int
+    instrs: list = field(default_factory=list)
+
+    @property
+    def terminator(self):
+        return self.instrs[-1] if self.instrs else None
+
+    def successors(self):
+        """Block ids this block can transfer control to."""
+        term = self.terminator
+        if term is None:
+            return []
+        if term.op == JUMP:
+            return [term.arg]
+        if term.op == BRANCH:
+            return [term.arg, term.arg2]
+        return []
+
+    def __repr__(self):
+        return "BasicBlock(%d, %d instrs)" % (self.id, len(self.instrs))
+
+
+@dataclass
+class CompiledFunction:
+    """A function lowered to a CFG of basic blocks (entry is block 0)."""
+
+    name: str
+    params: list  # parameter names in order
+    locals: list  # all local names (including params)
+    blocks: list  # list of BasicBlock, indexed by id
+    ret_type: str = "void"
+    line: int = 0
+
+    def block(self, block_id):
+        return self.blocks[block_id]
+
+    @property
+    def entry(self):
+        return self.blocks[0]
+
+    def edges(self):
+        """All CFG edges as (src_block_id, dst_block_id) pairs."""
+        result = []
+        for block in self.blocks:
+            for succ in block.successors():
+                result.append((block.id, succ))
+        return result
+
+    def instruction_count(self):
+        return sum(len(b.instrs) for b in self.blocks)
+
+    def dump(self):
+        """Human-readable disassembly (used by tests and debugging)."""
+        lines = ["func %s(%s):" % (self.name, ", ".join(self.params))]
+        for block in self.blocks:
+            lines.append("  block %d:" % block.id)
+            for instr in block.instrs:
+                lines.append("    %r" % instr)
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Error types shared by the MiniLang front end."""
+
+
+class MiniLangError(Exception):
+    """Base class for all MiniLang front-end errors."""
+
+    def __init__(self, message, line=None, column=None, filename=None):
+        self.message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+        super().__init__(self._format())
+
+    def _format(self):
+        where = ""
+        if self.filename is not None:
+            where = self.filename
+        if self.line is not None:
+            where += ":%d" % self.line
+            if self.column is not None:
+                where += ":%d" % self.column
+        if where:
+            return "%s: %s" % (where, self.message)
+        return self.message
+
+
+class LexError(MiniLangError):
+    """Raised when the lexer meets an unexpected character."""
+
+
+class ParseError(MiniLangError):
+    """Raised when the parser meets an unexpected token."""
+
+
+class CompileError(MiniLangError):
+    """Raised by semantic analysis or bytecode generation."""

@@ -1,0 +1,87 @@
+"""Hand-written lexer for MiniLang.
+
+The lexer produces a flat list of :class:`~repro.minilang.tokens.Token`
+objects.  It supports ``//`` line comments and ``/* ... */`` block comments,
+decimal integer literals, identifiers, keywords, and the operator set in
+:data:`repro.minilang.tokens.OPERATORS`.
+"""
+
+from repro.minilang.errors import LexError
+from repro.minilang.tokens import EOF, IDENT, INT, KEYWORDS, OPERATORS, Token
+
+
+def tokenize(source, name="<minilang>"):
+    """Tokenize ``source`` and return a list of tokens ending with EOF."""
+    tokens = []
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message):
+        raise LexError(message, line=line, column=col, filename=name)
+
+    while pos < n:
+        ch = source[pos]
+        # Whitespace.
+        if ch == "\n":
+            pos += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            col += 1
+            continue
+        # Comments.
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            if end < 0:
+                pos = n
+            else:
+                pos = end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[pos : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            pos = end + 2
+            continue
+        # Integer literals.
+        if ch.isdigit():
+            start = pos
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            text = source[start:pos]
+            tokens.append(Token(INT, int(text), line, col))
+            col += len(text)
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = text if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        # Operators and punctuation (maximal munch).
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token(op, op, line, col))
+                pos += len(op)
+                col += len(op)
+                break
+        else:
+            error("unexpected character %r" % ch)
+
+    tokens.append(Token(EOF, None, line, col))
+    return tokens

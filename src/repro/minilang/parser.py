@@ -1,0 +1,471 @@
+"""Recursive-descent parser for MiniLang.
+
+Grammar (informal)::
+
+    program     := (global_decl | func_def)*
+    global_decl := ['shared'|'local'] type IDENT ['[' INT ']'] ['=' expr] ';'
+                 | 'mutex' IDENT ';'
+                 | 'cond' IDENT ';'
+    func_def    := ('int'|'bool'|'void') IDENT '(' params ')' block
+    block       := '{' stmt* '}'
+    stmt        := local_decl | assign | if | while | for | return | spawn
+                 | join | lock | unlock | wait | signal | broadcast
+                 | assert | assume | yield | print | expr ';'
+    expr        := or_expr, with C-style precedence:
+                   || < && < ==/!= < relational < additive < multiplicative
+                   < unary < primary
+
+Compound assignments (``x += e``) and increments (``x++``) are desugared
+into plain assignments so the rest of the pipeline only sees ``Assign``.
+"""
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.errors import ParseError
+from repro.minilang.lexer import tokenize
+from repro.minilang.tokens import EOF, IDENT, INT
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class _Parser:
+    def __init__(self, tokens, name):
+        self.tokens = tokens
+        self.name = name
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self):
+        return self.tokens[self.pos]
+
+    def peek(self, offset=1):
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self):
+        tok = self.cur
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind):
+        return self.cur.kind == kind
+
+    def accept(self, kind):
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind, what=None):
+        if self.check(kind):
+            return self.advance()
+        found = self.cur.value if self.cur.kind != EOF else "end of input"
+        msg = "expected %s, found %r" % (what or repr(kind), found)
+        self.error(msg)
+
+    def error(self, message, token=None):
+        tok = token or self.cur
+        raise ParseError(message, line=tok.line, column=tok.column, filename=self.name)
+
+    def pos_of(self, tok):
+        return {"line": tok.line, "column": tok.column}
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while not self.check(EOF):
+            if self.cur.kind in ("shared", "local", "mutex", "cond"):
+                globals_.append(self.parse_global())
+            elif self.cur.kind in ("int", "bool", "void"):
+                # Distinguish function definition from global declaration by
+                # looking for '(' after the identifier.
+                if self.peek(2).kind == "(":
+                    functions.append(self.parse_func())
+                else:
+                    globals_.append(self.parse_global())
+            else:
+                self.error("expected declaration or function definition")
+        return ast.Program(name=self.name, globals=globals_, functions=functions)
+
+    def parse_global(self):
+        start = self.cur
+        sharing = "auto"
+        if self.cur.kind in ("shared", "local"):
+            sharing = self.advance().kind
+        if self.cur.kind in ("mutex", "cond"):
+            type_ = self.advance().kind
+            name = self.expect(IDENT, "a name").value
+            self.expect(";")
+            return ast.GlobalDecl(type=type_, name=name, sharing=sharing, **self.pos_of(start))
+        if self.cur.kind not in ("int", "bool"):
+            self.error("expected a type")
+        type_ = self.advance().kind
+        name = self.expect(IDENT, "a name").value
+        size = None
+        init = None
+        if self.accept("["):
+            size = self.expect(INT, "array size").value
+            self.expect("]")
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.GlobalDecl(
+            type=type_, name=name, size=size, init=init, sharing=sharing, **self.pos_of(start)
+        )
+
+    def parse_func(self):
+        start = self.cur
+        ret_type = self.advance().kind
+        name = self.expect(IDENT, "function name").value
+        self.expect("(")
+        params = []
+        if not self.check(")"):
+            while True:
+                ptok = self.cur
+                if self.cur.kind not in ("int", "bool"):
+                    self.error("expected parameter type")
+                ptype = self.advance().kind
+                pname = self.expect(IDENT, "parameter name").value
+                params.append(ast.Param(type=ptype, name=pname, **self.pos_of(ptok)))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDef(
+            name=name, params=params, ret_type=ret_type, body=body, **self.pos_of(start)
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self):
+        start = self.expect("{")
+        stmts = []
+        while not self.check("}"):
+            if self.check(EOF):
+                self.error("unterminated block (missing '}')")
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(stmts=stmts, **self.pos_of(start))
+
+    def parse_stmt(self):
+        kind = self.cur.kind
+        handler = {
+            "{": self.parse_block,
+            "int": self.parse_local_decl,
+            "bool": self.parse_local_decl,
+            "if": self.parse_if,
+            "while": self.parse_while,
+            "for": self.parse_for,
+            "return": self.parse_return,
+            "spawn": self.parse_spawn_stmt,
+            "join": self.parse_join,
+            "lock": self.parse_lock,
+            "unlock": self.parse_unlock,
+            "wait": self.parse_wait,
+            "signal": self.parse_signal,
+            "broadcast": self.parse_broadcast,
+            "assert": self.parse_assert,
+            "assume": self.parse_assume,
+            "yield": self.parse_yield,
+            "print": self.parse_print,
+        }.get(kind)
+        if handler is not None:
+            return handler()
+        return self.parse_simple_stmt()
+
+    def parse_local_decl(self):
+        start = self.cur
+        type_ = self.advance().kind
+        name = self.expect(IDENT, "variable name").value
+        init = None
+        if self.accept("="):
+            init = self.parse_assign_rhs(name, start)
+        self.expect(";")
+        return ast.LocalDecl(type=type_, name=name, init=init, **self.pos_of(start))
+
+    def parse_assign_rhs(self, target_name, start):
+        # 'x = spawn f(...)' is handled by parse_simple_stmt; local decls may
+        # not initialize from spawn to keep the grammar simple.
+        if self.check("spawn"):
+            self.error("spawn may not initialize a declaration; assign it separately")
+        return self.parse_expr()
+
+    def parse_if(self):
+        start = self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block_or_stmt()
+        els = None
+        if self.accept("else"):
+            els = self.parse_block_or_stmt()
+        return ast.If(cond=cond, then=then, els=els, **self.pos_of(start))
+
+    def parse_block_or_stmt(self):
+        if self.check("{"):
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        return ast.Block(stmts=[stmt], line=stmt.line, column=stmt.column)
+
+    def parse_while(self):
+        start = self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_block_or_stmt()
+        return ast.While(cond=cond, body=body, **self.pos_of(start))
+
+    def parse_for(self):
+        # Desugar: for (init; cond; update) body  =>  { init; while (cond) { body; update; } }
+        start = self.advance()
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            if self.cur.kind in ("int", "bool"):
+                init = self.parse_local_decl()
+            else:
+                init = self.parse_simple_stmt()
+        else:
+            self.expect(";")
+        if isinstance(init, ast.LocalDecl) or isinstance(init, ast.Stmt):
+            pass  # the ';' was consumed by the sub-parser
+        cond = ast.BoolLit(value=True, **self.pos_of(start))
+        if not self.check(";"):
+            cond = self.parse_expr()
+        self.expect(";")
+        update = None
+        if not self.check(")"):
+            update = self.parse_assign_no_semi()
+        self.expect(")")
+        body = self.parse_block_or_stmt()
+        loop_body = list(body.stmts)
+        if update is not None:
+            loop_body.append(update)
+        loop = ast.While(
+            cond=cond,
+            body=ast.Block(stmts=loop_body, line=body.line, column=body.column),
+            **self.pos_of(start),
+        )
+        outer = [init, loop] if init is not None else [loop]
+        return ast.Block(stmts=outer, **self.pos_of(start))
+
+    def parse_return(self):
+        start = self.advance()
+        value = None
+        if not self.check(";"):
+            value = self.parse_expr()
+        self.expect(";")
+        return ast.Return(value=value, **self.pos_of(start))
+
+    def parse_spawn_stmt(self):
+        start = self.cur
+        spawn = self.parse_spawn_expr()
+        self.expect(";")
+        return spawn
+
+    def parse_spawn_expr(self, target=None):
+        start = self.expect("spawn")
+        func = self.expect(IDENT, "function name").value
+        self.expect("(")
+        args = []
+        if not self.check(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return ast.Spawn(target=target, func=func, args=args, **self.pos_of(start))
+
+    def parse_join(self):
+        start = self.advance()
+        self.expect("(")
+        handle = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.Join(handle=handle, **self.pos_of(start))
+
+    def _parse_name_call(self, node_cls):
+        start = self.advance()
+        self.expect("(")
+        name = self.expect(IDENT, "a name").value
+        self.expect(")")
+        self.expect(";")
+        return node_cls(name, **self.pos_of(start))
+
+    def parse_lock(self):
+        return self._parse_name_call(lambda n, **kw: ast.LockStmt(name=n, **kw))
+
+    def parse_unlock(self):
+        return self._parse_name_call(lambda n, **kw: ast.UnlockStmt(name=n, **kw))
+
+    def parse_wait(self):
+        start = self.advance()
+        self.expect("(")
+        cond = self.expect(IDENT, "condition variable").value
+        self.expect(",")
+        mutex = self.expect(IDENT, "mutex").value
+        self.expect(")")
+        self.expect(";")
+        return ast.WaitStmt(cond=cond, mutex=mutex, **self.pos_of(start))
+
+    def parse_signal(self):
+        return self._parse_name_call(lambda n, **kw: ast.SignalStmt(cond=n, **kw))
+
+    def parse_broadcast(self):
+        return self._parse_name_call(lambda n, **kw: ast.BroadcastStmt(cond=n, **kw))
+
+    def parse_assert(self):
+        start = self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        message = "assert at %s:%d" % (self.name, start.line)
+        return ast.AssertStmt(cond=cond, message=message, **self.pos_of(start))
+
+    def parse_assume(self):
+        start = self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.AssumeStmt(cond=cond, **self.pos_of(start))
+
+    def parse_yield(self):
+        start = self.advance()
+        self.expect(";")
+        return ast.YieldStmt(**self.pos_of(start))
+
+    def parse_print(self):
+        start = self.advance()
+        self.expect("(")
+        args = []
+        if not self.check(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect(";")
+        return ast.PrintStmt(args=args, **self.pos_of(start))
+
+    def parse_simple_stmt(self):
+        stmt = self.parse_assign_no_semi()
+        self.expect(";")
+        return stmt
+
+    def parse_assign_no_semi(self):
+        """Parse an assignment, compound assignment, ++/--, spawn-assign, or
+        a bare expression (without the trailing ';')."""
+        start = self.cur
+        # 'x = spawn f(...)'
+        if (
+            self.check(IDENT)
+            and self.peek().kind == "="
+            and self.peek(2).kind == "spawn"
+        ):
+            target = self.advance().value
+            self.expect("=")
+            return self.parse_spawn_expr(target=target)
+        expr = self.parse_expr()
+        if self.cur.kind == "=":
+            self.advance()
+            value = self.parse_expr()
+            self._check_lvalue(expr, start)
+            return ast.Assign(target=expr, value=value, **self.pos_of(start))
+        if self.cur.kind in _COMPOUND_OPS:
+            op = _COMPOUND_OPS[self.advance().kind]
+            value = self.parse_expr()
+            self._check_lvalue(expr, start)
+            rhs = ast.Binary(op=op, left=expr, right=value, **self.pos_of(start))
+            return ast.Assign(target=expr, value=rhs, **self.pos_of(start))
+        if self.cur.kind in ("++", "--"):
+            op = "+" if self.advance().kind == "++" else "-"
+            self._check_lvalue(expr, start)
+            one = ast.IntLit(value=1, **self.pos_of(start))
+            rhs = ast.Binary(op=op, left=expr, right=one, **self.pos_of(start))
+            return ast.Assign(target=expr, value=rhs, **self.pos_of(start))
+        return ast.ExprStmt(expr=expr, **self.pos_of(start))
+
+    def _check_lvalue(self, expr, tok):
+        if not isinstance(expr, (ast.Name, ast.Index)):
+            self.error("assignment target must be a variable or array element", tok)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self):
+        return self.parse_or()
+
+    def _parse_binop_level(self, sub, ops):
+        left = sub()
+        while self.cur.kind in ops:
+            tok = self.advance()
+            right = sub()
+            left = ast.Binary(op=tok.kind, left=left, right=right, **self.pos_of(tok))
+        return left
+
+    def parse_or(self):
+        return self._parse_binop_level(self.parse_and, ("||",))
+
+    def parse_and(self):
+        return self._parse_binop_level(self.parse_equality, ("&&",))
+
+    def parse_equality(self):
+        return self._parse_binop_level(self.parse_relational, ("==", "!="))
+
+    def parse_relational(self):
+        return self._parse_binop_level(self.parse_additive, ("<", "<=", ">", ">="))
+
+    def parse_additive(self):
+        return self._parse_binop_level(self.parse_multiplicative, ("+", "-"))
+
+    def parse_multiplicative(self):
+        return self._parse_binop_level(self.parse_unary, ("*", "/", "%"))
+
+    def parse_unary(self):
+        if self.cur.kind in ("-", "!"):
+            tok = self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(op=tok.kind, operand=operand, **self.pos_of(tok))
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.cur
+        if tok.kind == INT:
+            self.advance()
+            return ast.IntLit(value=tok.value, **self.pos_of(tok))
+        if tok.kind in ("true", "false"):
+            self.advance()
+            return ast.BoolLit(value=tok.kind == "true", **self.pos_of(tok))
+        if tok.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == IDENT:
+            self.advance()
+            if self.check("("):
+                self.advance()
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(func=tok.value, args=args, **self.pos_of(tok))
+            if self.check("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.Index(name=tok.value, index=index, **self.pos_of(tok))
+            return ast.Name(name=tok.value, **self.pos_of(tok))
+        self.error("expected an expression")
+
+
+def parse_program(source, name="<minilang>"):
+    """Parse MiniLang ``source`` text into a :class:`~ast_nodes.Program`."""
+    return _Parser(tokenize(source, name=name), name).parse_program()

@@ -1,0 +1,179 @@
+"""AST pretty-printer: render a parsed Program back to MiniLang source.
+
+``parse(pretty(parse(src)))`` is the identity on ASTs (modulo source
+positions), which the property tests exercise; the printer is also used
+by debugging tools to show desugared programs (compound assignments and
+``for`` loops print in their lowered forms).
+"""
+
+from repro.minilang import ast_nodes as ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def pretty_expr(expr, parent_prec=0):
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Name):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (expr.name, pretty_expr(expr.index))
+    if isinstance(expr, ast.Unary):
+        inner = pretty_expr(expr.operand, parent_prec=7)
+        return "%s%s" % (expr.op, inner)
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, parent_prec=prec)
+        # Right operand gets prec+1: our operators are left-associative.
+        right = pretty_expr(expr.right, parent_prec=prec + 1)
+        text = "%s %s %s" % (left, expr.op, right)
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return "%s(%s)" % (expr.func, args)
+    raise TypeError("cannot print expression %r" % (expr,))
+
+
+class _Printer:
+    def __init__(self, indent="    "):
+        self.indent = indent
+        self.lines = []
+        self.depth = 0
+
+    def emit(self, text):
+        self.lines.append(self.indent * self.depth + text)
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, node):
+        method = getattr(self, "stmt_" + type(node).__name__, None)
+        if method is None:
+            raise TypeError("cannot print statement %r" % (node,))
+        method(node)
+
+    def block(self, block, header):
+        self.emit(header + " {")
+        self.depth += 1
+        for stmt in block.stmts:
+            self.stmt(stmt)
+        self.depth -= 1
+        self.emit("}")
+
+    def stmt_Block(self, node):
+        self.block(node, "")
+
+    def stmt_LocalDecl(self, node):
+        if node.init is not None:
+            self.emit("%s %s = %s;" % (node.type, node.name, pretty_expr(node.init)))
+        else:
+            self.emit("%s %s;" % (node.type, node.name))
+
+    def stmt_Assign(self, node):
+        self.emit("%s = %s;" % (pretty_expr(node.target), pretty_expr(node.value)))
+
+    def stmt_If(self, node):
+        self.block(node.then, "if (%s)" % pretty_expr(node.cond))
+        if node.els is not None:
+            # Re-render the closing brace with the else clause attached.
+            self.lines[-1] = self.indent * self.depth + "} else {"
+            self.depth += 1
+            for stmt in node.els.stmts:
+                self.stmt(stmt)
+            self.depth -= 1
+            self.emit("}")
+
+    def stmt_While(self, node):
+        self.block(node.body, "while (%s)" % pretty_expr(node.cond))
+
+    def stmt_Return(self, node):
+        if node.value is not None:
+            self.emit("return %s;" % pretty_expr(node.value))
+        else:
+            self.emit("return;")
+
+    def stmt_ExprStmt(self, node):
+        self.emit("%s;" % pretty_expr(node.expr))
+
+    def stmt_Spawn(self, node):
+        args = ", ".join(pretty_expr(a) for a in node.args)
+        call = "spawn %s(%s);" % (node.func, args)
+        if node.target is not None:
+            call = "%s = %s" % (node.target, call)
+        self.emit(call)
+
+    def stmt_Join(self, node):
+        self.emit("join(%s);" % pretty_expr(node.handle))
+
+    def stmt_LockStmt(self, node):
+        self.emit("lock(%s);" % node.name)
+
+    def stmt_UnlockStmt(self, node):
+        self.emit("unlock(%s);" % node.name)
+
+    def stmt_WaitStmt(self, node):
+        self.emit("wait(%s, %s);" % (node.cond, node.mutex))
+
+    def stmt_SignalStmt(self, node):
+        self.emit("signal(%s);" % node.cond)
+
+    def stmt_BroadcastStmt(self, node):
+        self.emit("broadcast(%s);" % node.cond)
+
+    def stmt_AssertStmt(self, node):
+        self.emit("assert(%s);" % pretty_expr(node.cond))
+
+    def stmt_AssumeStmt(self, node):
+        self.emit("assume(%s);" % pretty_expr(node.cond))
+
+    def stmt_YieldStmt(self, node):
+        self.emit("yield;")
+
+    def stmt_PrintStmt(self, node):
+        self.emit("print(%s);" % ", ".join(pretty_expr(a) for a in node.args))
+
+    # -- declarations ----------------------------------------------------------
+
+    def global_decl(self, decl):
+        prefix = "" if decl.sharing == "auto" else decl.sharing + " "
+        if decl.type in ("mutex", "cond"):
+            self.emit("%s%s %s;" % (prefix, decl.type, decl.name))
+            return
+        suffix = "[%d]" % decl.size if decl.is_array else ""
+        init = " = %s" % pretty_expr(decl.init) if decl.init is not None else ""
+        self.emit("%s%s %s%s%s;" % (prefix, decl.type, decl.name, suffix, init))
+
+    def func(self, func):
+        params = ", ".join("%s %s" % (p.type, p.name) for p in func.params)
+        self.block(func.body, "%s %s(%s)" % (func.ret_type, func.name, params))
+
+
+def pretty_program(program, indent="    "):
+    """Render a Program AST back to MiniLang source text."""
+    printer = _Printer(indent=indent)
+    for decl in program.globals:
+        printer.global_decl(decl)
+    if program.globals:
+        printer.emit("")
+    for i, func in enumerate(program.functions):
+        printer.func(func)
+        if i + 1 < len(program.functions):
+            printer.emit("")
+    return "\n".join(printer.lines) + "\n"

@@ -1,0 +1,95 @@
+"""Token definitions for the MiniLang lexer."""
+
+from dataclasses import dataclass
+
+# Token kinds.  Keywords get their own kind so the parser can match on kind
+# alone; punctuation/operator tokens use their literal spelling as the kind.
+IDENT = "IDENT"
+INT = "INT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "bool",
+        "void",
+        "true",
+        "false",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "shared",
+        "local",
+        "mutex",
+        "cond",
+        "thread",
+        "spawn",
+        "join",
+        "lock",
+        "unlock",
+        "wait",
+        "signal",
+        "broadcast",
+        "assert",
+        "assume",
+        "yield",
+        "print",
+        "atomic_input",
+        "nondet",
+    }
+)
+
+# Multi-character operators must come before their single-char prefixes so the
+# lexer can do maximal-munch by trying them in order.
+OPERATORS = (
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source position.
+
+    ``kind`` is one of ``IDENT``, ``INT``, ``EOF``, a keyword spelling, or an
+    operator spelling.  ``value`` is the identifier text or the integer value;
+    for keywords and operators it equals the spelling.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value, self.line, self.column)

@@ -1,0 +1,43 @@
+"""Scheduler-controlled concurrent runtime for MiniLang.
+
+This package is the "commodity multiprocessor" substrate of the CLAP
+reproduction: it executes compiled MiniLang programs under an explicit
+thread scheduler and a pluggable memory model (SC, TSO, PSO with per-thread
+store buffers), emits shared-access-point (SAP) events to recorder hooks,
+and supports deterministic replay of solver-computed schedules.
+"""
+
+from repro.runtime.events import SAP, BugReport
+from repro.runtime.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    run_program,
+)
+from repro.runtime.memory import SC, TSO, PSO, make_memory
+from repro.runtime.replay import ReplayError, replay_schedule
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    find_buggy_seed,
+)
+
+__all__ = [
+    "SAP",
+    "BugReport",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "run_program",
+    "SC",
+    "TSO",
+    "PSO",
+    "make_memory",
+    "ReplayError",
+    "replay_schedule",
+    "FixedScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "find_buggy_seed",
+]

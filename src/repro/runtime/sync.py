@@ -1,0 +1,42 @@
+"""Mutex and condition-variable state for the scheduler-controlled runtime.
+
+Blocking is modelled by thread status: a thread that cannot proceed is
+marked blocked with a reason, and the scheduler only selects runnable
+threads.  Wake-ups happen eagerly (unlock marks all waiters-for-the-mutex
+runnable; they re-contend when next scheduled), which mirrors how futex
+wake-ups behave and keeps every interleaving reachable.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MutexState:
+    name: str
+    owner: int | None = None  # owning thread id or None
+
+    @property
+    def held(self):
+        return self.owner is not None
+
+
+@dataclass
+class CondVarState:
+    name: str
+    # Thread ids currently blocked in wait() on this condvar, in arrival
+    # order.  signal() wakes the first; broadcast() wakes all.
+    waiters: list = field(default_factory=list)
+
+
+class SyncTable:
+    """All mutexes and condition variables of one execution."""
+
+    def __init__(self, symbols):
+        self.mutexes = {name: MutexState(name) for name in symbols.mutexes()}
+        self.condvars = {name: CondVarState(name) for name in symbols.condvars()}
+
+    def mutex(self, name):
+        return self.mutexes[name]
+
+    def condvar(self, name):
+        return self.condvars[name]

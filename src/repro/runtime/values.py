@@ -1,0 +1,67 @@
+"""Concrete value operations shared by the interpreter and validators.
+
+MiniLang has two data types, ``int`` and ``bool``; both are represented as
+Python ints (bools as 0/1).  Division and modulo truncate toward zero, as in
+C, so constraint validation and concrete execution agree exactly.
+"""
+
+from repro.runtime.errors import MiniRuntimeError
+
+
+def truthy(value):
+    return value != 0
+
+
+def c_div(a, b):
+    """C-style truncating division."""
+    if b == 0:
+        raise MiniRuntimeError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a, b):
+    """C-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise MiniRuntimeError("modulo by zero")
+    return a - c_div(a, b) * b
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": c_div,
+    "%": c_mod,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "&&": lambda a, b: 1 if (a != 0 and b != 0) else 0,
+    "||": lambda a, b: 1 if (a != 0 or b != 0) else 0,
+}
+
+_UNOPS = {
+    "-": lambda a: -a,
+    "!": lambda a: 0 if a != 0 else 1,
+}
+
+
+def eval_binop(op, left, right):
+    """Apply binary operator ``op`` to concrete ints."""
+    try:
+        fn = _BINOPS[op]
+    except KeyError:
+        raise MiniRuntimeError("unknown binary operator %r" % op) from None
+    return fn(left, right)
+
+
+def eval_unop(op, operand):
+    """Apply unary operator ``op`` to a concrete int."""
+    try:
+        fn = _UNOPS[op]
+    except KeyError:
+        raise MiniRuntimeError("unknown unary operator %r" % op) from None
+    return fn(operand)

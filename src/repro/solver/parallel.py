@@ -1,0 +1,266 @@
+"""The generate-and-validate solver, sequential and parallel (Section 4.3).
+
+The driver raises the preemption bound ``c`` from 0 upward.  At each bound
+it runs the value-guided bounded DFS of
+:class:`~repro.solver.schedule_gen.ScheduleGenerator`; every complete
+schedule it emits already satisfies Fmo, Fso and Fpath by construction, so
+"validation" reduces to the bug predicate plus (for defence in depth) a
+full re-check with the independent
+:class:`~repro.solver.validate.ScheduleValidator`.  The first bound that
+yields correct schedules stops the search, which also realizes Section
+4.2's *minimal context switches* loop ("start from zero, increment until a
+solution is found").
+
+Parallel mode partitions the ``c >= 1`` rounds by the CSP triple of the
+*first* preemption — exactly the paper's one-process-per-CSP-set scheme —
+and fans the partitions out over a process pool.
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import MiniRuntimeError
+from repro.analysis.symbolic import sym_eval
+from repro.solver.schedule_gen import ScheduleGenerator
+from repro.solver.validate import ScheduleValidator
+
+
+@dataclass
+class GenerateValidateResult:
+    ok: bool
+    schedule: list = field(default_factory=list)
+    context_switches: int = -1
+    generated: int = 0
+    good: int = 0
+    rounds: int = 0  # the preemption bound at which schedules were found
+    solve_time: float = 0.0
+    good_schedules: list = field(default_factory=list)
+    reason: str = ""
+
+    def __bool__(self):
+        return self.ok
+
+
+def _bug_holds(system, schedule, generator):
+    """Check the bug predicate of a complete generated schedule."""
+    # Re-derive the read environment by a linear scan (cheap, and keeps the
+    # generator free of bug-specific state).
+    env = {}
+    memory = dict(system.initial_values)
+    for uid in schedule:
+        sap = system.saps[uid]
+        if sap.is_read:
+            env[sap.value.name] = memory[sap.addr]
+        elif sap.is_write:
+            try:
+                memory[sap.addr] = sym_eval(sap.value, env)
+            except (KeyError, MiniRuntimeError):
+                return False
+    try:
+        return all(sym_eval(expr, env) for expr in system.bug_exprs)
+    except (KeyError, MiniRuntimeError):
+        return False
+
+
+def _search_round(
+    system,
+    c,
+    order_seed,
+    max_schedules,
+    max_steps,
+    max_good,
+    first_preemption=None,
+):
+    """One bounded-DFS probe; returns (n_generated, good list, exhausted)."""
+    generator = ScheduleGenerator(system)
+    validator = ScheduleValidator(system)
+    generated = 0
+    good = []
+    stats = {}
+    for schedule in generator.generate(
+        max_preemptions=c,
+        exact_preemptions=c > 0,
+        first_preemption=first_preemption,
+        max_schedules=max_schedules,
+        max_steps=max_steps,
+        order_seed=order_seed,
+        stats=stats,
+    ):
+        generated += 1
+        if not _bug_holds(system, schedule, generator):
+            continue
+        outcome = validator.validate(schedule)
+        if outcome.ok:
+            good.append((list(schedule), outcome.context_switches))
+            if max_good is not None and len(good) >= max_good:
+                break
+    exhausted = not stats.get("capped", True)
+    return generated, good, exhausted
+
+
+# Process-pool worker globals (the system is shipped once per worker).
+_WORKER_SYSTEM = None
+
+
+def _worker_init(system):
+    global _WORKER_SYSTEM
+    _WORKER_SYSTEM = system
+
+
+def _worker_task(c, order_seeds, max_schedules, max_steps, max_good):
+    generated = 0
+    good = []
+    exhausted = False
+    for seed in order_seeds:
+        n, g, exhausted = _search_round(
+            _WORKER_SYSTEM, c, seed, max_schedules, max_steps, max_good
+        )
+        generated += n
+        good.extend(g)
+        if good or exhausted:
+            break
+    return generated, good, exhausted
+
+
+def solve_generate_validate(
+    system,
+    max_cs=4,
+    probes_per_round=48,
+    max_schedules_per_probe=4_000,
+    max_steps_per_probe=150_000,
+    max_good=16,
+    workers=0,
+    max_seconds=None,
+    # Backwards-compatible aliases used by ClapConfig.
+    max_schedules_per_round=None,
+    max_steps_per_round=None,
+):
+    """Search for bug-reproducing schedules with increasing preemption bound.
+
+    Section 4.2's incrementing loop: rounds c = 0, 1, 2, ... each search
+    for schedules with *exactly* c interleaved segments, so the first
+    round that succeeds yields a minimal-switch witness.  Each round runs
+    a deterministic bounded-DFS probe plus randomized re-orders of the
+    same space (sequentially, or fanned over a process pool), and each
+    round is **time-sliced**: rounds below the true minimum are usually
+    un-exhaustible dead space, so they may not starve the round where the
+    witnesses live.  A round whose deterministic probe exhausts the space
+    outright is skipped immediately.
+
+    Returns a :class:`GenerateValidateResult`; the returned schedule has
+    the fewest context switches among the good ones found at the minimal
+    bound.
+    """
+    if max_schedules_per_round is not None:
+        max_schedules_per_probe = max(
+            max_schedules_per_round // max(probes_per_round, 1), 500
+        )
+    if max_steps_per_round is not None:
+        max_steps_per_probe = max(
+            max_steps_per_round // max(probes_per_round, 1), 20_000
+        )
+    start = time.monotonic()
+    round_slice = None
+    if max_seconds is not None:
+        round_slice = max_seconds / (max_cs + 1)
+    total_generated = 0
+    seeds = [None] + list(range(1, probes_per_round))
+    for c in range(max_cs + 1):
+        elapsed = time.monotonic() - start
+        if max_seconds is not None and elapsed > max_seconds:
+            return GenerateValidateResult(
+                False,
+                generated=total_generated,
+                rounds=c,
+                solve_time=elapsed,
+                reason="timeout",
+            )
+        round_start = time.monotonic()
+
+        def round_expired():
+            if max_seconds is not None and time.monotonic() - start > max_seconds:
+                return True
+            return (
+                round_slice is not None
+                and time.monotonic() - round_start > round_slice
+            )
+
+        if workers:
+            generated, good = _run_parallel(
+                system,
+                c,
+                seeds,
+                max_schedules_per_probe,
+                max_steps_per_probe,
+                max_good,
+                workers,
+            )
+        else:
+            generated = 0
+            good = []
+            for seed in seeds:
+                if round_expired():
+                    break
+                n, g, exhausted = _search_round(
+                    system,
+                    c,
+                    seed,
+                    max_schedules_per_probe,
+                    max_steps_per_probe,
+                    max_good,
+                )
+                generated += n
+                good.extend(g)
+                if good:
+                    break
+                if exhausted:
+                    # The deterministic walk covered the entire bounded
+                    # space: randomized re-orders of an empty space are
+                    # pointless; move to the next bound.
+                    break
+        total_generated += generated
+        if good:
+            good.sort(key=lambda pair: pair[1])
+            schedule, switches = good[0]
+            return GenerateValidateResult(
+                True,
+                schedule=schedule,
+                context_switches=switches,
+                generated=total_generated,
+                good=len(good),
+                rounds=c,
+                solve_time=time.monotonic() - start,
+                good_schedules=[s for s, _ in good],
+            )
+    return GenerateValidateResult(
+        False,
+        generated=total_generated,
+        rounds=max_cs,
+        solve_time=time.monotonic() - start,
+        reason="no correct schedule within %d context switches" % max_cs,
+    )
+
+
+def _run_parallel(
+    system, c, seeds, max_schedules, max_steps, max_good, workers
+):
+    # One probe seed per task; workers race and the first good result wins.
+    generated = 0
+    good = []
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(system,)
+    ) as pool:
+        futures = [
+            pool.submit(_worker_task, c, [seed], max_schedules, max_steps, max_good)
+            for seed in seeds
+        ]
+        for future in as_completed(futures):
+            batch_generated, batch_good, exhausted = future.result()
+            generated += batch_generated
+            good.extend(batch_good)
+            if good or exhausted:
+                for f in futures:
+                    f.cancel()
+                break
+    return generated, good

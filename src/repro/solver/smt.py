@@ -1,0 +1,471 @@
+"""The monolithic CLAP solver: CDCL(T) over order and value theories.
+
+This plays the role of STP in the paper's prototype ("the sequential
+solver" of Table 1/Table 3).  Architecture:
+
+Boolean skeleton (CDCL)
+    Variables for reads-from choices, signal-wait mappings, and order
+    atoms ``O_a < O_b``.  Because the schedule totally orders distinct
+    SAPs, ``¬(O_a < O_b) ≡ O_b < O_a`` — one SAT variable serves both
+    directions.
+
+Order theory
+    The fixed edges (Fmo + fixed Fso) form a DAG whose transitive closure
+    is precomputed; order atoms implied either way become unit clauses up
+    front.  After each SAT solution, the digraph of fixed edges plus
+    assigned atoms is checked for cycles; a cycle yields a conflict clause
+    over the atom literals on it.
+
+Value theory (lazy)
+    A full assignment fixes each read's source write, hence (recursively)
+    every read's concrete value.  All path conditions and the bug
+    predicate are evaluated; a failure yields a blocking clause over the
+    reads-from choices actually consulted during evaluation.
+
+The satisfying total order is extracted by a greedy topological sort that
+prefers staying on the current thread — linearizations of one solution
+differ only in switch count, so greediness directly reduces the reported
+``#cs`` — and the result is re-checked by the independent
+:class:`~repro.solver.validate.ScheduleValidator` before being returned.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import MiniRuntimeError
+from repro.analysis.symbolic import sym_eval
+from repro.constraints.model import INIT, OLt, RFChoice, SWChoice
+from repro.solver.cdcl import CDCLSolver, SAT, UNSAT
+from repro.solver.validate import ScheduleValidator
+
+
+@dataclass
+class SmtResult:
+    ok: bool
+    reason: str = ""
+    schedule: list = field(default_factory=list)
+    reads_from: dict = field(default_factory=dict)
+    env: dict = field(default_factory=dict)
+    context_switches: int = -1
+    iterations: int = 0
+    solve_time: float = 0.0
+
+    def __bool__(self):
+        return self.ok
+
+
+class _Reachability:
+    """Transitive closure of the fixed order edges, via bitsets."""
+
+    def __init__(self, uids, edges):
+        self.index = {uid: i for i, uid in enumerate(uids)}
+        n = len(uids)
+        succ = [[] for _ in range(n)]
+        indeg = [0] * n
+        for a, b in edges:
+            ia, ib = self.index[a], self.index[b]
+            succ[ia].append(ib)
+            indeg[ib] += 1
+        order = [i for i in range(n) if indeg[i] == 0]
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
+            for nxt in succ[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+        if len(order) != n:
+            raise ValueError("fixed order constraints are cyclic (unsat)")
+        self.reach = [0] * n
+        for node in reversed(order):
+            mask = 0
+            for nxt in succ[node]:
+                mask |= self.reach[nxt] | (1 << nxt)
+            self.reach[node] = mask
+
+    def reaches(self, a, b):
+        return bool(self.reach[self.index[a]] >> self.index[b] & 1)
+
+
+class _CycleError(Exception):
+    def __init__(self, lits):
+        self.lits = lits
+
+
+def _find_cycle(adjacency):
+    """Iterative DFS cycle search.  ``adjacency``: node -> [(succ, lit)].
+    Returns the list of atom literals on one cycle, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        path = [root]
+        edge_lits = []
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ, lit in it:
+                if color.get(succ, BLACK) == GRAY:
+                    # Found a cycle: path from succ..node plus this edge.
+                    start = path.index(succ)
+                    lits = edge_lits[start:] + [lit]
+                    return [l for l in lits if l is not None]
+                if color.get(succ, BLACK) == WHITE:
+                    color[succ] = GRAY
+                    stack.append((succ, iter(adjacency[succ])))
+                    path.append(succ)
+                    edge_lits.append(lit)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                color[node] = BLACK
+                path.pop()
+                if edge_lits:
+                    edge_lits.pop()
+    return None
+
+
+class ClapSmtSolver:
+    """CDCL(T) solver for one :class:`ConstraintSystem`."""
+
+    def __init__(self, system):
+        self.system = system
+        self.sat = CDCLSolver()
+        self.validator = ScheduleValidator(system)
+        self.atom_var = {}  # canonical atom -> sat var
+        self.var_atom = {}  # sat var -> atom
+        uids = list(system.saps)
+        self.fixed_edges = [(e.a, e.b) for e in system.hard_edges]
+        self.reach = _Reachability(uids, self.fixed_edges)
+        self._sym_to_read = {}
+        for summary in system.summaries.values():
+            for name, sap in summary.reads.items():
+                self._sym_to_read[name] = sap
+        self._build()
+
+    # -- encoding -----------------------------------------------------------
+
+    def _order_lit(self, atom):
+        """SAT literal for an OLt atom, using fixed-order implications.
+        Returns +/-var, or True/False when the closure decides it."""
+        a, b = atom.a, atom.b
+        if a == b:
+            return False
+        if self.reach.reaches(a, b):
+            return True
+        if self.reach.reaches(b, a):
+            return False
+        lo, hi = (a, b) if a < b else (b, a)
+        key = ("O", lo, hi)  # the variable means O_lo < O_hi
+        var = self.atom_var.get(key)
+        if var is None:
+            var = self.sat.new_var()
+            self.atom_var[key] = var
+            self.var_atom[var] = OLt(lo, hi)
+        return var if (a, b) == (lo, hi) else -var
+
+    def _choice_lit(self, atom):
+        key = atom
+        var = self.atom_var.get(key)
+        if var is None:
+            var = self.sat.new_var()
+            self.atom_var[key] = var
+            self.var_atom[var] = atom
+        return var
+
+    def _lit(self, lit):
+        atom = lit.atom
+        if isinstance(atom, OLt):
+            sat_lit = self._order_lit(atom)
+        else:
+            sat_lit = self._choice_lit(atom)
+        if sat_lit is True or sat_lit is False:
+            value = sat_lit if lit.positive else not sat_lit
+            return value  # boolean constant
+        return sat_lit if lit.positive else -sat_lit
+
+    def _add_clause(self, lits):
+        out = []
+        for lit in lits:
+            value = self._lit(lit)
+            if value is True:
+                return
+            if value is False:
+                continue
+            out.append(value)
+        self.sat.add_clause(out)
+
+    def _build(self):
+        system = self.system
+        from repro.constraints.model import Lit
+
+        for clause in system.clauses:
+            self._add_clause(clause.lits)
+        for group in system.exactly_one:
+            self._add_clause(group.lits)
+            lits = [self._lit(l) for l in group.lits]
+            concrete = [l for l in lits if l is not True and l is not False]
+            for i in range(len(concrete)):
+                for j in range(i + 1, len(concrete)):
+                    self.sat.add_clause([-concrete[i], -concrete[j]])
+        for group in system.at_most_one:
+            lits = [self._lit(l) for l in group.lits]
+            concrete = [l for l in lits if l is not True and l is not False]
+            for i in range(len(concrete)):
+                for j in range(i + 1, len(concrete)):
+                    self.sat.add_clause([-concrete[i], -concrete[j]])
+
+    # -- theory checks ---------------------------------------------------------
+
+    def _assigned_atoms(self, model):
+        """Current OLt edges and choices from a SAT model."""
+        edges = []
+        rf = {}
+        sw = []
+        for var, value in model.items():
+            atom = self.var_atom.get(var)
+            if atom is None:
+                continue
+            if isinstance(atom, OLt):
+                if value:
+                    edges.append((atom.a, atom.b, var))
+                else:
+                    edges.append((atom.b, atom.a, -var))
+            elif isinstance(atom, RFChoice):
+                if value:
+                    rf[atom.read] = atom.source
+            elif isinstance(atom, SWChoice):
+                if value:
+                    sw.append(atom)
+        return edges, rf, sw
+
+    def _check_order(self, atom_edges):
+        adjacency = {uid: [] for uid in self.system.saps}
+        for a, b in self.fixed_edges:
+            adjacency[a].append((b, None))
+        for a, b, sat_lit in atom_edges:
+            adjacency[a].append((b, sat_lit))
+        cycle_lits = _find_cycle(adjacency)
+        if cycle_lits is None:
+            return adjacency, None
+        return adjacency, [-l for l in cycle_lits]
+
+    def _check_values(self, rf):
+        """Evaluate Fpath ∧ Fbug under the reads-from map.
+
+        Returns (env, blamed_read_uids, failure_reason).  On failure the
+        blamed set is the *transitive* reads-from dependency cone of the
+        one violated expression — a much tighter blocking clause than
+        "everything consulted so far"."""
+        system = self.system
+        resolving = set()
+        env = {}
+        # read uid -> frozenset of read uids its value depends on (itself
+        # plus the cone of the write expression it reads from).
+        cone = {}
+        touched = set()  # syms accessed by the expression being evaluated
+
+        class LazyEnv(dict):
+            def __missing__(env_self, sym_name):
+                sap = self._sym_to_read[sym_name]
+                touched.add(sap.uid)
+                value = resolve(sap.uid)
+                env_self[sym_name] = value
+                return value
+
+            def __getitem__(env_self, sym_name):
+                if sym_name in env_self:
+                    touched.add(self._sym_to_read[sym_name].uid)
+                return dict.__getitem__(env_self, sym_name)
+
+        lazy = LazyEnv()
+
+        def resolve(read_uid):
+            if read_uid in env:
+                return env[read_uid]
+            if read_uid in resolving:
+                raise _CycleError([])
+            resolving.add(read_uid)
+            source = rf.get(read_uid)
+            if source is None:
+                raise KeyError(read_uid)
+            deps = {read_uid}
+            if source == INIT:
+                value = system.initial_values[system.saps[read_uid].addr]
+            else:
+                write = system.saps[source]
+                saved, touched_inner = touched.copy(), set()
+                # Evaluate the write's expression with its own touch set so
+                # the cone is per-read, then fold into the caller's.
+                touched.clear()
+                value = sym_eval(write.value, lazy)
+                touched_inner = set(touched)
+                touched.clear()
+                touched.update(saved | touched_inner)
+                for dep in touched_inner:
+                    deps |= cone.get(dep, {dep})
+            resolving.discard(read_uid)
+            env[read_uid] = value
+            cone[read_uid] = frozenset(deps)
+            return value
+
+        def blamed():
+            out = set()
+            for uid in touched:
+                out |= cone.get(uid, {uid})
+            return out
+
+        try:
+            for cond in system.conditions:
+                touched.clear()
+                if not sym_eval(cond.expr, lazy):
+                    return lazy, blamed(), "path condition violated"
+            for bug_expr in system.bug_exprs:
+                touched.clear()
+                if not sym_eval(bug_expr, lazy):
+                    return lazy, blamed(), "bug predicate violated"
+        except _CycleError:
+            return lazy, set(env) | touched, "cyclic value dependency"
+        except MiniRuntimeError as exc:
+            return lazy, blamed(), str(exc)
+        return lazy, set(), None
+
+    def _block_choices(self, rf, consulted):
+        lits = []
+        for read_uid in consulted:
+            source = rf.get(read_uid)
+            if source is None:
+                continue
+            var = self.atom_var.get(RFChoice(read_uid, source))
+            if var is not None:
+                lits.append(-var)
+        if not lits:
+            return False
+        self.sat.add_clause(lits)
+        return True
+
+    # -- schedule extraction -------------------------------------------------
+
+    def _linearize(self, adjacency):
+        """Greedy topological sort preferring the current thread."""
+        indeg = {uid: 0 for uid in adjacency}
+        succ = {uid: [] for uid in adjacency}
+        for uid, out in adjacency.items():
+            for nxt, _ in out:
+                succ[uid].append(nxt)
+                indeg[nxt] += 1
+        ready = {uid for uid, d in indeg.items() if d == 0}
+        schedule = []
+        current_thread = None
+        while ready:
+            same = [uid for uid in ready if uid[0] == current_thread]
+            if same:
+                pick = min(same, key=lambda u: u[1])
+            else:
+                pick = min(ready, key=lambda u: (u[0], u[1]))
+                current_thread = pick[0]
+            ready.discard(pick)
+            schedule.append(pick)
+            for nxt in succ[pick]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.add(nxt)
+        if len(schedule) != len(adjacency):
+            raise RuntimeError("linearization failed on an acyclic graph?")
+        return schedule
+
+    # -- main loop ----------------------------------------------------------
+
+    def solve(self, max_iterations=100000, max_seconds=None):
+        start = time.monotonic()
+        iterations = 0
+        while True:
+            iterations += 1
+            if max_seconds is not None and time.monotonic() - start > max_seconds:
+                return SmtResult(
+                    False,
+                    reason="timeout",
+                    iterations=iterations,
+                    solve_time=time.monotonic() - start,
+                )
+            if iterations > max_iterations:
+                return SmtResult(
+                    False,
+                    reason="iteration limit",
+                    iterations=iterations,
+                    solve_time=time.monotonic() - start,
+                )
+            status = self.sat.solve()
+            if status == UNSAT:
+                return SmtResult(
+                    False,
+                    reason="unsatisfiable",
+                    iterations=iterations,
+                    solve_time=time.monotonic() - start,
+                )
+            model = self.sat.model()
+            atom_edges, rf, _sw = self._assigned_atoms(model)
+            adjacency, conflict = self._check_order(atom_edges)
+            if conflict is not None:
+                self.sat.add_clause(conflict)
+                continue
+            env, consulted, failure = self._check_values(rf)
+            if failure is not None:
+                if not self._block_choices(rf, consulted):
+                    return SmtResult(
+                        False,
+                        reason="value conflict with no blockable choices: "
+                        + failure,
+                        iterations=iterations,
+                        solve_time=time.monotonic() - start,
+                    )
+                continue
+            schedule = self._linearize(adjacency)
+            outcome = self.validator.validate(schedule)
+            if not outcome.ok:
+                # The operational wait/signal semantics rejected this
+                # solution; block the current choice combination entirely.
+                blocked = self._block_model(model)
+                if not blocked:
+                    return SmtResult(
+                        False,
+                        reason="validator rejected and nothing to block: "
+                        + outcome.reason,
+                        iterations=iterations,
+                        solve_time=time.monotonic() - start,
+                    )
+                continue
+            return SmtResult(
+                True,
+                schedule=schedule,
+                reads_from=outcome.reads_from,
+                env=outcome.env,
+                context_switches=outcome.context_switches,
+                iterations=iterations,
+                solve_time=time.monotonic() - start,
+            )
+
+    def _block_model(self, model):
+        lits = []
+        for var, value in model.items():
+            atom = self.var_atom.get(var)
+            if isinstance(atom, (RFChoice, SWChoice)) and value:
+                lits.append(-var)
+        if not lits:
+            return False
+        self.sat.add_clause(lits)
+        return True
+
+
+def solve_constraints(system, max_iterations=100000, max_seconds=None):
+    """Solve a ConstraintSystem; returns an :class:`SmtResult`."""
+    try:
+        solver = ClapSmtSolver(system)
+    except ValueError as exc:
+        return SmtResult(False, reason=str(exc))
+    return solver.solve(max_iterations=max_iterations, max_seconds=max_seconds)

@@ -1,0 +1,30 @@
+"""Thread-local path tracing (CLAP's online phase) and the LEAP baseline.
+
+* :mod:`repro.tracing.ball_larus` — the classical Ball-Larus path numbering
+  algorithm on MiniLang CFGs.
+* :mod:`repro.tracing.recorder` — the CLAP runtime recorder: per-thread
+  whole-path profiles as (ENTER / PATH / PARTIAL / EXIT) token streams.
+* :mod:`repro.tracing.decoder` — reconstructs the exact per-thread basic
+  block paths from the recorded profiles.
+* :mod:`repro.tracing.logfmt` — compact varint serialization (log sizes for
+  Table 2 are measured on these encodings).
+* :mod:`repro.tracing.leap` — the LEAP (FSE'10) shared-access-vector
+  recorder used as the paper's comparison baseline.
+"""
+
+from repro.tracing.ball_larus import BallLarus, ProgramPaths
+from repro.tracing.decoder import DecodedThreadPath, decode_log
+from repro.tracing.leap import LeapRecorder
+from repro.tracing.logfmt import decode_tokens, encode_tokens
+from repro.tracing.recorder import PathRecorder
+
+__all__ = [
+    "BallLarus",
+    "ProgramPaths",
+    "PathRecorder",
+    "DecodedThreadPath",
+    "decode_log",
+    "LeapRecorder",
+    "encode_tokens",
+    "decode_tokens",
+]

@@ -1,0 +1,157 @@
+"""Reconstruct exact per-thread paths from recorded BL profiles.
+
+The decoder turns one thread's token stream back into a *frame trace tree*:
+each node is one function activation with the full sequence of basic blocks
+it executed, plus its callee activations in call order.  The symbolic
+executor (:mod:`repro.analysis.symexec`) replays bytecode along this tree.
+
+Frames that were still live when the failure stopped the run decode from
+``partial`` tokens; their block sequence ends at the recorded stop block
+and ``stop_ip`` names the exact instruction where the thread halted.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FrameTrace:
+    """One function activation reconstructed from the log."""
+
+    func: str
+    blocks: list = field(default_factory=list)
+    calls: list = field(default_factory=list)  # callee FrameTraces, in order
+    complete: bool = False
+    stop_block: int | None = None
+    stop_ip: int | None = None
+    wait_stage: int = 0  # sub-SAPs already committed if stopped inside wait()
+    # Checkpoint-resume: the activation was already open when recording
+    # (re)started; execution continues at (resume_block, resume_ip) and the
+    # first path token decodes as a suffix segment from that block.
+    resumed: bool = False
+    resume_block: int | None = None
+    resume_ip: int | None = None
+    _pending_resume: bool = False
+
+    def total_blocks(self):
+        return len(self.blocks) + sum(c.total_blocks() for c in self.calls)
+
+
+@dataclass
+class DecodedThreadPath:
+    """The whole recorded path of one thread (its root activation)."""
+
+    thread: str
+    root: FrameTrace
+
+    def total_blocks(self):
+        return self.root.total_blocks()
+
+
+class LogDecodeError(Exception):
+    pass
+
+
+def decode_thread_tokens(thread_name, tokens, paths, func_names):
+    """Decode one thread's token list into a :class:`DecodedThreadPath`.
+
+    ``paths`` is the program's :class:`~repro.tracing.ball_larus.ProgramPaths`;
+    ``func_names`` maps recorder function ids back to names.
+    """
+    stack = []
+    root = None
+    for token in tokens:
+        kind = token[0]
+        if kind == "resume":
+            _, fid, block, ip = token
+            func = func_names[fid]
+            node = FrameTrace(
+                func=func,
+                resumed=True,
+                resume_block=block,
+                resume_ip=ip,
+                _pending_resume=True,
+            )
+            node.blocks.append(block)
+            if stack:
+                stack[-1].calls.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise LogDecodeError(
+                    "thread %s: resume token outside the open frame stack"
+                    % thread_name
+                )
+            stack.append(node)
+            continue
+        if kind == "enter":
+            func = func_names[token[1]]
+            node = FrameTrace(func=func)
+            if stack:
+                stack[-1].calls.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise LogDecodeError(
+                    "thread %s: second root activation in log" % thread_name
+                )
+            stack.append(node)
+        elif kind == "path":
+            if not stack:
+                raise LogDecodeError("thread %s: path token outside frame" % thread_name)
+            node = stack[-1]
+            if node._pending_resume:
+                node._pending_resume = False
+                blocks, _ = paths[node.func].decode(
+                    token[1], start_block=node.resume_block
+                )
+                node.blocks.extend(blocks[1:])  # resume block already there
+            else:
+                blocks, _ = paths[node.func].decode(token[1])
+                node.blocks.extend(blocks)
+        elif kind == "exit":
+            if not stack:
+                raise LogDecodeError("thread %s: exit token outside frame" % thread_name)
+            stack.pop().complete = True
+        elif kind == "partial":
+            if not stack:
+                raise LogDecodeError(
+                    "thread %s: partial token outside frame" % thread_name
+                )
+            node = stack.pop()
+            _, path_id, stop_block, stop_ip, wait_stage = token
+            if node._pending_resume:
+                node._pending_resume = False
+                blocks, _ = paths[node.func].decode(
+                    path_id, stop_block=stop_block, start_block=node.resume_block
+                )
+                blocks = blocks[1:]  # resume block already present
+            else:
+                blocks, _ = paths[node.func].decode(path_id, stop_block=stop_block)
+            node.blocks.extend(blocks)
+            node.complete = False
+            node.stop_block = stop_block
+            node.stop_ip = stop_ip
+            node.wait_stage = wait_stage
+        else:
+            raise LogDecodeError("unknown token %r" % (token,))
+    if root is None:
+        raise LogDecodeError("thread %s: empty log" % thread_name)
+    if stack:
+        raise LogDecodeError(
+            "thread %s: %d frames left open without partial tokens"
+            % (thread_name, len(stack))
+        )
+    return DecodedThreadPath(thread=thread_name, root=root)
+
+
+def decode_log(recorder):
+    """Decode every thread's log of a finalized PathRecorder.
+
+    Returns {thread_name: DecodedThreadPath}.
+    """
+    result = {}
+    for thread_name, tokens in recorder.logs.items():
+        result[thread_name] = decode_thread_tokens(
+            thread_name, tokens, recorder.paths, recorder.func_names
+        )
+    return result

@@ -1,0 +1,64 @@
+"""LEAP-style access-vector recorder (the paper's comparison baseline).
+
+LEAP (Huang, Liu, Zhang — FSE 2010) records, for every shared variable, the
+order of thread accesses: an *access vector* of thread ids, appended under a
+per-variable lock.  That gives deterministic replay directly, but:
+
+* every shared access takes a synchronized instrumentation step (expensive
+  when shared accesses dominate, e.g. ``racey``), and
+* the added locks are memory barriers, so TSO/PSO-only bugs can no longer
+  occur while recording — the Heisenberg effect CLAP avoids.
+
+Setting :attr:`fences_memory` makes the interpreter drain the recording
+thread's store buffer around every shared write, which models exactly that
+perturbation (see ``tests/tracing/test_leap.py``).
+
+Log size is measured like CLAP's: varint-encoded vectors, summed.
+"""
+
+from repro.runtime import events as ev
+from repro.tracing.logfmt import write_varint
+
+
+class LeapRecorder:
+    """Interpreter hook that records per-variable access vectors."""
+
+    #: LEAP's instrumentation synchronizes -> acts as a fence (see module doc).
+    fences_memory = True
+
+    def __init__(self, program):
+        self.program = program
+        # variable/sync-object key -> list of accessing thread tids
+        self.vectors = {}
+        self._tids = {}  # thread name -> numeric id
+        self.instrumentation_ops = 0
+
+    def on_thread_start(self, thread):
+        self._tids[thread.name] = thread.tid
+
+    def on_sap(self, thread, sap):
+        if sap.kind in (ev.START, ev.EXIT):
+            return
+        if sap.is_data:
+            key = sap.addr[0] if len(sap.addr) == 1 else sap.addr
+        else:
+            key = sap.addr  # sync object name / thread name
+        self.vectors.setdefault(key, []).append(thread.tid)
+        # One lock acquire + append + release per access.
+        self.instrumentation_ops += 3
+
+    def encoded_logs(self):
+        """{key: bytes} — per-variable access vectors as varints."""
+        result = {}
+        for key, vector in self.vectors.items():
+            out = bytearray()
+            for tid in vector:
+                write_varint(out, tid)
+            result[key] = bytes(out)
+        return result
+
+    def log_size_bytes(self):
+        return sum(len(v) for v in self.encoded_logs().values())
+
+    def total_accesses(self):
+        return sum(len(v) for v in self.vectors.values())

@@ -1,0 +1,133 @@
+"""Compact binary serialization of path-profile logs.
+
+CLAP's log is, per thread, a stream of small integers; this module encodes
+it with tag bytes + LEB128 varints.  Table 2's log-size numbers are the
+lengths of these encodings (CLAP) versus the LEAP access-vector encoding.
+
+Tokens
+------
+``("enter", func_id)``
+    A function was entered.
+``("path", path_id)``
+    A completed Ball-Larus path (emitted at back edges and at returns).
+``("exit",)``
+    The function returned.
+``("partial", path_id, block, ip, wait_stage)``
+    Emitted by ``finalize()`` for frames still live when the failure
+    stopped the run: an *incomplete* BL path plus the exact stop position.
+    ``wait_stage`` is non-zero only when the thread stopped inside a
+    ``wait()`` (1 = released the mutex, 2 = also consumed the signal); the
+    offline reconstruction must emit the matching sub-SAPs.
+"""
+
+TAG_ENTER = 0
+TAG_PATH = 1
+TAG_EXIT = 2
+TAG_PARTIAL = 3
+# Run-length compression of repeated path ids: loops re-execute the same
+# Ball-Larus path, so ("path", p) x N encodes as one REPEAT record.  This
+# is the cheap end of whole-program-path compression (Larus, PLDI'99),
+# which the paper's log sizes rely on.
+TAG_REPEAT = 4
+# ("resume", func_id, block, ip): an open activation resumed after a
+# checkpoint; its first path token decodes from ``block`` (see the
+# checkpointing extension in repro.core.checkpoint).
+TAG_RESUME = 5
+
+_TOKEN_TAGS = {
+    "enter": TAG_ENTER,
+    "path": TAG_PATH,
+    "exit": TAG_EXIT,
+    "partial": TAG_PARTIAL,
+    "resume": TAG_RESUME,
+}
+_TAG_TOKENS = {v: k for k, v in _TOKEN_TAGS.items()}
+
+
+def write_varint(out, value):
+    """Append unsigned LEB128 of ``value`` (must be >= 0) to bytearray."""
+    if value < 0:
+        raise ValueError("varint must be non-negative, got %d" % value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data, pos):
+    """Decode unsigned LEB128 at ``pos``; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_tokens(tokens):
+    """Encode one thread's token stream to bytes (with path-id RLE)."""
+    out = bytearray()
+    i = 0
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        if token[0] == "path":
+            j = i + 1
+            while j < n and tokens[j] == token:
+                j += 1
+            count = j - i
+            if count >= 2:
+                out.append(TAG_REPEAT)
+                write_varint(out, token[1])
+                write_varint(out, count)
+                i = j
+                continue
+        tag = _TOKEN_TAGS[token[0]]
+        out.append(tag)
+        for value in token[1:]:
+            write_varint(out, value)
+        i += 1
+    return bytes(out)
+
+
+def decode_tokens(data):
+    """Decode bytes produced by :func:`encode_tokens`."""
+    tokens = []
+    pos = 0
+    n = len(data)
+    while pos < n:
+        tag = data[pos]
+        pos += 1
+        kind = _TAG_TOKENS.get(tag)
+        if tag == TAG_REPEAT:
+            pid, pos = read_varint(data, pos)
+            count, pos = read_varint(data, pos)
+            tokens.extend([("path", pid)] * count)
+            continue
+        if kind == "enter":
+            fid, pos = read_varint(data, pos)
+            tokens.append(("enter", fid))
+        elif kind == "resume":
+            fid, pos = read_varint(data, pos)
+            block, pos = read_varint(data, pos)
+            ip, pos = read_varint(data, pos)
+            tokens.append(("resume", fid, block, ip))
+        elif kind == "path":
+            pid, pos = read_varint(data, pos)
+            tokens.append(("path", pid))
+        elif kind == "exit":
+            tokens.append(("exit",))
+        else:
+            pid, pos = read_varint(data, pos)
+            block, pos = read_varint(data, pos)
+            ip, pos = read_varint(data, pos)
+            stage, pos = read_varint(data, pos)
+            tokens.append(("partial", pid, block, ip, stage))
+    return tokens

@@ -1,0 +1,140 @@
+"""The CLAP online recorder: per-thread Ball-Larus whole-path profiles.
+
+This is CLAP's entire runtime footprint.  It subscribes to the
+interpreter's control-flow hooks only — it never looks at memory accesses,
+values, or other threads — so it needs **no synchronization**: every
+counter and log it touches is thread-local.  (That property is the paper's
+first headline advantage over order/value recorders such as LEAP.)
+
+Overhead accounting: ``instrumentation_ops`` counts the dynamic
+instrumentation actions a compiled-in BL pass would execute — one counter
+increment per non-zero-valued CFG edge traversed, and one log append per
+function entry/exit/back-edge.  The benchmark harness turns this count
+into the simulated slowdown reported in Table 2.
+"""
+
+from repro.tracing.ball_larus import ProgramPaths
+from repro.tracing.logfmt import encode_tokens
+
+
+class PathRecorder:
+    """Interpreter hook that records thread-local execution paths."""
+
+    def __init__(self, program, paths=None):
+        self.program = program
+        self.paths = paths if paths is not None else ProgramPaths.build(program)
+        self.func_ids = {name: i for i, name in enumerate(sorted(program.functions))}
+        self.func_names = {i: name for name, i in self.func_ids.items()}
+        # thread name -> list of tokens
+        self.logs = {}
+        # thread name -> stack of [func_name, counter, current_block]
+        self._stacks = {}
+        self.instrumentation_ops = 0
+        self._finalized = False
+
+    # -- interpreter hook interface -----------------------------------------
+
+    def on_thread_start(self, thread):
+        self.logs[thread.name] = []
+        self._stacks[thread.name] = []
+
+    def on_enter(self, thread, func_name):
+        stack = self._stacks[thread.name]
+        stack.append([func_name, 0, 0])
+        self.logs[thread.name].append(("enter", self.func_ids[func_name]))
+        self.instrumentation_ops += 1
+
+    def on_edge(self, thread, func_name, src, dst):
+        frame = self._stacks[thread.name][-1]
+        bl = self.paths[func_name]
+        reset = bl.backedge_reset.get((src, dst))
+        if reset is not None:
+            emit_add, new_counter = reset
+            self.logs[thread.name].append(("path", frame[1] + emit_add))
+            frame[1] = new_counter
+            self.instrumentation_ops += 1
+        else:
+            val = bl.real_edge_val.get((src, dst), 0)
+            if val:
+                frame[1] += val
+                self.instrumentation_ops += 1
+        frame[2] = dst
+
+    def on_exit(self, thread, func_name, exit_block):
+        stack = self._stacks[thread.name]
+        frame = stack.pop()
+        bl = self.paths[func_name]
+        final = frame[1] + bl.ret_edge_val.get(exit_block, 0)
+        log = self.logs[thread.name]
+        log.append(("path", final))
+        log.append(("exit",))
+        self.instrumentation_ops += 1
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint(self, interpreter):
+        """Archive the logs so far and restart recording mid-execution.
+
+        Implements the log side of the paper's Section 6.4 future work
+        ("we plan to integrate CLAP with checkpointing"): each live frame
+        contributes a ``resume`` token naming its current position, its
+        Ball-Larus counter restarts at zero, and subsequent path ids
+        decode as *suffix* segments from the resume block.
+
+        Returns {thread_name: archived token list} for the prefix.
+        """
+        archived = self.logs
+        self.logs = {}
+        for thread in interpreter.threads.values():
+            stack = self._stacks.get(thread.name)
+            if stack is None:
+                continue
+            log = []
+            for frame_state, frame in zip(stack, thread.frames):
+                func_name = frame_state[0]
+                log.append(("resume", self.func_ids[func_name], frame.block, frame.ip))
+                frame_state[1] = 0
+                frame_state[2] = frame.block
+            self.logs[thread.name] = log
+        return archived
+
+    # -- finalization ---------------------------------------------------------
+
+    def finalize(self, interpreter):
+        """Dump partial paths for frames still live at the stop point.
+
+        In the real system this is the crash-time log flush: each live
+        frame contributes its unfinished path counter plus the exact stop
+        position (block, ip).
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        for thread in interpreter.threads.values():
+            stack = self._stacks.get(thread.name)
+            if not stack:
+                continue
+            log = self.logs[thread.name]
+            # A thread stopped inside wait() already committed one or two of
+            # the wait's three sub-SAPs; record how many (thread-local info).
+            wait_stage = 0
+            if thread.wait_resume is not None:
+                wait_stage = 1 if thread.wait_resume[0] == "signaled-pending" else 2
+            # Dump innermost-first: the decoder processes tokens in order
+            # with the innermost open frame on top of its stack, so each
+            # ``partial`` token closes the current top.
+            innermost = True
+            for frame_state, frame in reversed(list(zip(stack, thread.frames))):
+                func_name, counter, _ = frame_state
+                stage = wait_stage if innermost else 0
+                log.append(("partial", counter, frame.block, frame.ip, stage))
+                innermost = False
+
+    # -- results ---------------------------------------------------------------
+
+    def encoded_logs(self):
+        """{thread_name: bytes} — what would be written to disk."""
+        return {name: encode_tokens(tokens) for name, tokens in self.logs.items()}
+
+    def log_size_bytes(self):
+        return sum(len(data) for data in self.encoded_logs().values())

@@ -1,0 +1,149 @@
+from repro.analysis.escape import shared_variables, thread_roots, transitive_accesses
+from repro.minilang import compile_source
+
+
+def shared_of(src):
+    return shared_variables(compile_source(src))
+
+
+def test_global_accessed_by_two_threads_is_shared():
+    assert "x" in shared_of(
+        """
+        int x;
+        void w() { x = 1; }
+        int main() { int t = 0; t = spawn w(); x = 2; join(t); }
+        """
+    )
+
+
+def test_main_only_global_is_local():
+    shared = shared_of(
+        """
+        int only_main;
+        void w() { }
+        int main() { int t = 0; t = spawn w(); only_main = 1; join(t); }
+        """
+    )
+    assert "only_main" not in shared
+
+
+def test_single_spawn_single_instance_private_global():
+    # Accessed by exactly one spawned thread, spawned exactly once.
+    shared = shared_of(
+        """
+        int worker_private;
+        void w() { worker_private = 1; }
+        int main() { int t = 0; t = spawn w(); join(t); }
+        """
+    )
+    assert "worker_private" not in shared
+
+
+def test_two_spawns_of_same_function_share_its_globals():
+    shared = shared_of(
+        """
+        int v;
+        void w() { v = v + 1; }
+        int main() {
+            int a = 0; int b = 0;
+            a = spawn w(); b = spawn w();
+            join(a); join(b);
+        }
+        """
+    )
+    assert "v" in shared
+
+
+def test_spawn_in_loop_counts_as_many_instances():
+    shared = shared_of(
+        """
+        int v;
+        void w() { v = v + 1; }
+        int main() {
+            for (int i = 0; i < 4; i++) {
+                int t = 0;
+                t = spawn w();
+                join(t);
+            }
+        }
+        """
+    )
+    assert "v" in shared
+
+
+def test_access_through_helper_call_is_transitive():
+    shared = shared_of(
+        """
+        int x;
+        void helper() { x = 1; }
+        void w() { helper(); }
+        int main() { int t = 0; t = spawn w(); x = 2; join(t); }
+        """
+    )
+    assert "x" in shared
+
+
+def test_declared_shared_overrides_inference():
+    assert "x" in shared_of(
+        "shared int x; int main() { x = 1; }"
+    )
+
+
+def test_declared_local_overrides_inference():
+    shared = shared_of(
+        """
+        local int x;
+        void w() { x = 1; }
+        int main() { int t = 0; t = spawn w(); x = 2; join(t); }
+        """
+    )
+    assert "x" not in shared
+
+
+def test_nested_spawn_multiplicity_propagates():
+    # parent() is spawned twice; each parent spawns one child: the child's
+    # globals are shared because the child runs in two instances.
+    shared = shared_of(
+        """
+        int cv;
+        void child() { cv = cv + 1; }
+        void parent() { int t = 0; t = spawn child(); join(t); }
+        int main() {
+            int a = 0; int b = 0;
+            a = spawn parent(); b = spawn parent();
+            join(a); join(b);
+        }
+        """
+    )
+    assert "cv" in shared
+
+
+def test_transitive_accesses_fixpoint():
+    prog = compile_source(
+        """
+        int x; int y;
+        void a() { x = 1; }
+        void b() { a(); y = 1; }
+        void c() { b(); }
+        int main() { c(); }
+        """
+    )
+    acc = transitive_accesses(prog)
+    assert acc["c"] == {"x", "y"}
+    assert acc["a"] == {"x"}
+
+
+def test_thread_roots_and_multiplicity():
+    prog = compile_source(
+        """
+        void w() { }
+        int main() {
+            int a = 0; int b = 0;
+            a = spawn w(); b = spawn w();
+            join(a); join(b);
+        }
+        """
+    )
+    roots = thread_roots(prog)
+    assert roots["main"] == 1
+    assert roots["w"] == 2

@@ -1,0 +1,76 @@
+from repro.analysis.lockset import analyze_locksets
+from repro.minilang import compile_source
+from repro.runtime.interpreter import run_program
+
+from tests.conftest import LOCKED_SRC, RACE_SRC
+
+
+def events_of(src_or_prog, seed=0, stickiness=0.3):
+    prog = (
+        compile_source(src_or_prog)
+        if isinstance(src_or_prog, str)
+        else src_or_prog
+    )
+    return run_program(prog, seed=seed, stickiness=stickiness).events
+
+
+def test_unprotected_counter_flagged():
+    report = analyze_locksets(events_of(RACE_SRC))
+    assert ("c",) in report.violations()
+
+
+def test_consistently_locked_counter_clean():
+    report = analyze_locksets(events_of(LOCKED_SRC))
+    assert report.violations() == []
+
+
+def test_exclusive_single_thread_access_clean():
+    src = """
+    int x = 0;
+    int main() { x = 1; x = x + 1; return 0; }
+    """
+    report = analyze_locksets(events_of(src))
+    assert report.violations() == []
+
+
+def test_shared_read_only_clean():
+    src = """
+    int x = 7;
+    int sink0 = 0;
+    int sink1 = 0;
+    void r(int id) { if (id == 0) { sink0 = x; } else { sink1 = x; } }
+    int main() {
+        int a = 0; int b = 0;
+        a = spawn r(0); b = spawn r(1);
+        join(a); join(b);
+        return 0;
+    }
+    """
+    report = analyze_locksets(events_of(src))
+    assert ("x",) not in report.violations()
+
+
+def test_partial_locking_flagged():
+    # One thread locks, the other does not: candidate set empties.
+    src = """
+    int x = 0;
+    mutex m;
+    void locked() { lock(m); x = x + 1; unlock(m); }
+    void unlocked() { x = x + 1; }
+    int main() {
+        int a = 0; int b = 0;
+        a = spawn locked(); b = spawn unlocked();
+        join(a); join(b);
+        return 0;
+    }
+    """
+    report = analyze_locksets(events_of(src))
+    assert ("x",) in report.violations()
+
+
+def test_violation_location_recorded():
+    report = analyze_locksets(events_of(RACE_SRC))
+    loc = report.locations[("c",)]
+    assert loc.violated
+    thread, line = loc.first_violation
+    assert line > 0

@@ -1,0 +1,149 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.symbolic import (
+    BinOp,
+    Const,
+    Ite,
+    Sym,
+    expr_size,
+    free_syms,
+    mk_binop,
+    mk_ite,
+    mk_not,
+    mk_unop,
+    sym_eval,
+    wrap,
+)
+from repro.runtime.values import eval_binop, eval_unop
+
+OPS = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"]
+
+
+def test_constant_folding():
+    assert mk_binop("+", 2, 3) == Const(5)
+    assert mk_binop("<", Const(1), Const(2)) == Const(1)
+    assert mk_unop("!", Const(0)) == Const(1)
+
+
+def test_identity_simplifications():
+    x = Sym("x")
+    assert mk_binop("+", x, 0) is x
+    assert mk_binop("+", 0, x) is x
+    assert mk_binop("-", x, 0) is x
+    assert mk_binop("*", x, 1) is x
+    assert mk_binop("*", 1, x) is x
+    assert mk_binop("*", x, 0) == Const(0)
+
+
+def test_logical_short_simplifications():
+    x = mk_binop("<", Sym("x"), 3)
+    assert mk_binop("&&", Const(1), x) is x
+    assert mk_binop("&&", Const(0), x) == Const(0)
+    assert mk_binop("||", Const(0), x) is x
+    assert mk_binop("||", Const(1), x) == Const(1)
+
+
+def test_ite_simplification():
+    x = Sym("x")
+    assert mk_ite(Const(1), x, Const(0)) is x
+    assert mk_ite(Const(0), x, Const(9)) == Const(9)
+    assert mk_ite(mk_binop("<", x, 1), Const(7), Const(7)) == Const(7)
+
+
+def test_eval_matches_concrete_semantics():
+    x, y = Sym("x"), Sym("y")
+    expr = mk_binop("%", mk_binop("*", x, y), mk_binop("+", y, 1))
+    env = {"x": -17, "y": 5}
+    assert sym_eval(expr, env) == eval_binop(
+        "%", eval_binop("*", -17, 5), eval_binop("+", 5, 1)
+    )
+
+
+def test_eval_missing_symbol_raises_keyerror():
+    with pytest.raises(KeyError):
+        sym_eval(Sym("nope"), {})
+
+
+def test_free_syms():
+    x, y = Sym("x"), Sym("y")
+    expr = mk_ite(mk_binop("<", x, y), mk_unop("-", x), Const(3))
+    assert free_syms(expr) == {"x", "y"}
+    assert free_syms(Const(5)) == set()
+
+
+def test_expr_size_counts_nodes():
+    x = Sym("x")
+    assert expr_size(x) == 1
+    assert expr_size(mk_binop("+", x, Sym("y"))) == 3
+
+
+def test_wrap_idempotent():
+    x = Sym("x")
+    assert wrap(x) is x
+    assert wrap(7) == Const(7)
+
+
+@st.composite
+def exprs(draw, depth=3):
+    syms = ["a", "b", "c"]
+    if depth == 0:
+        if draw(st.booleans()):
+            return Sym(draw(st.sampled_from(syms)))
+        return Const(draw(st.integers(-50, 50)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Const(draw(st.integers(-50, 50)))
+    if kind == 1:
+        return Sym(draw(st.sampled_from(syms)))
+    if kind == 2:
+        from repro.runtime.errors import MiniRuntimeError
+
+        op = draw(st.sampled_from(OPS))
+        left = draw(exprs(depth=depth - 1))
+        right = draw(exprs(depth=depth - 1))
+        try:
+            return mk_binop(op, left, right)
+        except MiniRuntimeError:  # constant-folded division by zero
+            return mk_binop("+", left, right)
+    return mk_unop(
+        draw(st.sampled_from(["-", "!"])), draw(exprs(depth=depth - 1))
+    )
+
+
+@given(exprs(), st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+def test_simplification_preserves_semantics(expr, a, b, c):
+    """Property: the smart constructors never change evaluation."""
+    env = {"a": a, "b": b, "c": c}
+
+    def eval_raw(node):
+        if isinstance(node, Const):
+            return node.value
+        if isinstance(node, Sym):
+            return env[node.name]
+        if isinstance(node, BinOp):
+            return eval_binop(node.op, eval_raw(node.left), eval_raw(node.right))
+        if isinstance(node, Ite):
+            return eval_raw(node.then) if eval_raw(node.cond) else eval_raw(node.els)
+        return eval_unop(node.op, eval_raw(node.operand))
+
+    from repro.runtime.errors import MiniRuntimeError
+
+    try:
+        expected = eval_raw(expr)
+    except MiniRuntimeError:
+        return  # division by zero along the raw tree
+    assert sym_eval(expr, env) == expected
+
+
+@given(
+    st.sampled_from(OPS), st.integers(-100, 100), st.integers(-100, 100)
+)
+def test_mk_binop_folds_exactly_like_runtime(op, a, b):
+    from repro.runtime.errors import MiniRuntimeError
+
+    try:
+        expected = eval_binop(op, a, b)
+    except MiniRuntimeError:
+        return
+    assert mk_binop(op, Const(a), Const(b)) == Const(expected)

@@ -1,0 +1,93 @@
+"""Harness and metrics unit tests (the table machinery itself)."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    Table1Row,
+    Table3Row,
+    _fmt_bytes,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_table1_row,
+    save_result,
+)
+from repro.bench.metrics import (
+    CostModel,
+    measure_overhead,
+    worst_case_schedules_log10,
+)
+from repro.bench.programs import get_benchmark
+
+
+def test_measure_overhead_basic_shape():
+    row = measure_overhead(get_benchmark("sim_race", iters=20))
+    assert row.native_units > 0
+    assert row.clap_units > row.native_units
+    assert row.leap_units > row.clap_units
+    assert 0 < row.clap_overhead_pct < row.leap_overhead_pct
+    assert row.clap_log_bytes > 0 and row.leap_log_bytes > 0
+
+
+def test_cost_model_weights_scale_linearly():
+    cheap = measure_overhead(
+        get_benchmark("sim_race", iters=10), model=CostModel(bl_op_cost=1.0)
+    )
+    pricey = measure_overhead(
+        get_benchmark("sim_race", iters=10), model=CostModel(bl_op_cost=2.0)
+    )
+    extra_cheap = cheap.clap_units - cheap.native_units
+    extra_pricey = pricey.clap_units - pricey.native_units
+    assert abs(extra_pricey - 2 * extra_cheap) < 1e-6
+
+
+def test_same_seed_same_interleaving_for_all_modes():
+    # The recorders must not perturb scheduling: native units identical
+    # across two measurements.
+    a = measure_overhead(get_benchmark("pfscan"))
+    b = measure_overhead(get_benchmark("pfscan"))
+    assert a.native_units == b.native_units
+    assert a.clap_log_bytes == b.clap_log_bytes
+
+
+def test_worst_case_schedule_count():
+    class FakeSummary:
+        def __init__(self, n):
+            self.saps = [None] * n
+
+    # Two threads with 2 SAPs each: C(4,2) = 6 interleavings.
+    summaries = {"a": FakeSummary(2), "b": FakeSummary(2)}
+    log10 = worst_case_schedules_log10(summaries)
+    assert math.isclose(10**log10, 6.0, rel_tol=1e-9)
+
+
+def test_format_tables_render_all_rows():
+    rows = [Table1Row(program="x", n_cs=1, success="Y")]
+    text = format_table1(rows)
+    assert "x" in text and "Program" in text
+    t3 = format_table3([Table3Row(program="y", worst_log10=12.5, generated=10)])
+    assert "> 10^" in t3
+
+
+def test_fmt_bytes():
+    assert _fmt_bytes(10) == "10B"
+    assert _fmt_bytes(2048) == "2.0K"
+    assert _fmt_bytes(3 << 20) == "3.0M"
+
+
+def test_save_result_writes_file(tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    path = save_result("demo.txt", "hello")
+    with open(path) as fh:
+        assert fh.read() == "hello\n"
+
+
+def test_run_table1_row_end_to_end():
+    row = run_table1_row(get_benchmark("pfscan"), solver="smt")
+    assert row.success == "Y"
+    assert row.n_saps > 0
+    assert row.loc > 0

@@ -1,0 +1,133 @@
+"""Benchmark suite sanity: programs compile, bugs manifest, traits hold."""
+
+import pytest
+
+from repro.analysis.escape import shared_variables
+from repro.bench.programs import (
+    BENCHMARK_NAMES,
+    TABLE1_NAMES,
+    TABLE2_NAMES,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.runtime.scheduler import find_buggy_seed
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_compiles(name):
+    bench = get_benchmark(name)
+    prog = bench.compile()
+    assert prog.instruction_count() > 0
+    assert "main" in prog.functions
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_has_shared_state(name):
+    prog = get_benchmark(name).compile()
+    assert shared_variables(prog), name
+
+
+def manifest(bench, seeds=None):
+    prog = bench.compile()
+    shared = shared_variables(prog)
+    return find_buggy_seed(
+        prog,
+        bench.memory_model,
+        seeds=seeds if seeds is not None else bench.seeds,
+        stickiness=bench.stickiness,
+        flush_prob=bench.flush_prob,
+        max_steps=bench.max_steps,
+        shared=shared,
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["sim_race", "aget", "pfscan", "swarm", "figure2"]
+)
+def test_fast_bugs_manifest(name):
+    hit = manifest(get_benchmark(name))
+    assert hit is not None, "%s bug never manifested" % name
+    assert hit[1].bug.kind == "assertion"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", ["pbzip2", "bbuf", "apache", "racey", "bakery", "dekker", "peterson"]
+)
+def test_slow_bugs_manifest(name):
+    hit = manifest(get_benchmark(name))
+    assert hit is not None, "%s bug never manifested" % name
+
+
+@pytest.mark.parametrize("name", ["bakery", "dekker", "peterson"])
+def test_mutex_algorithms_safe_under_sc(name):
+    bench = get_benchmark(name)
+    bench.memory_model = "sc"
+    hit = manifest(bench, seeds=range(150))
+    assert hit is None, "%s must be correct under SC" % name
+
+
+def test_figure2_pso_assert_is_relaxed_only():
+    bench = get_benchmark("figure2")
+    prog = bench.compile()
+    shared = shared_variables(prog)
+    # Under PSO the *reader-side* assertion (inside t2) can fail...
+    hit = find_buggy_seed(
+        prog, "pso", seeds=range(800), stickiness=0.5, flush_prob=0.02,
+        shared=shared,
+    )
+    reader_line = next(
+        i + 1
+        for i, line in enumerate(bench.source.splitlines())
+        if "assert(d == 1)" in line
+    )
+    pso_lines = set()
+    for seed in range(800):
+        from repro.runtime.interpreter import run_program
+
+        res = run_program(
+            prog, "pso", seed=seed, shared=shared, stickiness=0.5, flush_prob=0.02
+        )
+        if res.bug is not None:
+            pso_lines.add(res.bug.line)
+            if reader_line in pso_lines:
+                break
+    assert reader_line in pso_lines, "assert2 must be failable under PSO"
+    # ... but never under SC or TSO (store-store order preserved).
+    for model in ("sc", "tso"):
+        for seed in range(300):
+            from repro.runtime.interpreter import run_program
+
+            res = run_program(
+                prog, model, seed=seed, shared=shared, stickiness=0.4,
+                flush_prob=0.05,
+            )
+            assert res.bug is None or res.bug.line != reader_line, (
+                model, seed,
+            )
+
+
+def test_racey_signature_is_deterministic_serially():
+    from repro.runtime.interpreter import run_program
+    from repro.runtime.scheduler import RoundRobinScheduler
+
+    bench = get_benchmark("racey")
+    prog = bench.compile()
+    res = run_program(prog, "sc", scheduler=RoundRobinScheduler(quantum=10**9))
+    assert res.bug is None, "serialized racey matches its pinned signature"
+    assert res.final_globals[("out",)] == bench.params["serial_signature"]
+
+
+def test_registry_contents():
+    assert set(TABLE1_NAMES) <= set(BENCHMARK_NAMES)
+    assert set(TABLE2_NAMES) <= set(TABLE1_NAMES)
+    benches = all_benchmarks()
+    assert len(benches) == len(BENCHMARK_NAMES)
+    with pytest.raises(KeyError):
+        get_benchmark("nope")
+
+
+def test_parameterization():
+    small = get_benchmark("sim_race", workers=2)
+    big = get_benchmark("sim_race", workers=6)
+    assert big.compile().instruction_count() > small.compile().instruction_count()

@@ -1,0 +1,36 @@
+from repro.bench.workloads import (
+    ScalePoint,
+    fit_power,
+    format_sweep,
+    sweep_branches,
+    sweep_hot_variable,
+)
+
+
+def test_fit_power_recovers_exponent():
+    points = [
+        ScalePoint(size=n, n_saps=n, n_constraints=3 * n**3) for n in (2, 4, 8, 16)
+    ]
+    assert abs(fit_power(points) - 3.0) < 1e-9
+    linear = [
+        ScalePoint(size=n, n_saps=n, n_constraints=7 * n) for n in (2, 4, 8, 16)
+    ]
+    assert abs(fit_power(linear) - 1.0) < 1e-9
+
+
+def test_hot_variable_sweep_monotone():
+    points = sweep_hot_variable(sizes=(2, 4), solve=False)
+    assert points[0].n_saps < points[1].n_saps
+    assert points[0].n_constraints < points[1].n_constraints
+    assert points[0].n_reads + points[0].n_writes > 0
+
+
+def test_branch_sweep_produces_conditions():
+    points = sweep_branches(sizes=(2, 6))
+    assert points[0].n_branches < points[1].n_branches
+
+
+def test_format_sweep_renders():
+    points = [ScalePoint(size=2, n_saps=10, n_constraints=50)]
+    text = format_sweep(points, "demo")
+    assert "demo" in text and "50" in text

@@ -1,0 +1,159 @@
+"""Shared fixtures: small MiniLang programs used across the test suite."""
+
+import pytest
+
+from repro.minilang import compile_source
+
+RACE_SRC = """
+int c = 0;
+void worker(int n) {
+    for (int i = 0; i < n; i++) {
+        int r = c;
+        c = r + 1;
+    }
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn worker(2);
+    t2 = spawn worker(2);
+    join(t1);
+    join(t2);
+    assert(c == 4);
+    return 0;
+}
+"""
+
+LOCKED_SRC = """
+int c = 0;
+mutex m;
+void worker(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(m);
+        int r = c;
+        c = r + 1;
+        unlock(m);
+    }
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn worker(2);
+    t2 = spawn worker(2);
+    join(t1);
+    join(t2);
+    assert(c == 4);
+    return 0;
+}
+"""
+
+CONDVAR_SRC = """
+int x = 0;
+int y = 0;
+int done = 0;
+mutex m;
+cond cv;
+void producer() {
+    lock(m);
+    x = x + 5;
+    done = 1;
+    signal(cv);
+    unlock(m);
+}
+void consumer() {
+    lock(m);
+    while (done == 0) { wait(cv, m); }
+    int v = x;
+    unlock(m);
+    y = v * 2;
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn consumer();
+    t2 = spawn producer();
+    join(t1);
+    join(t2);
+    assert(y == 10);
+    return 0;
+}
+"""
+
+MP_SRC = """
+int data = 0;
+int flag = 0;
+void writer() {
+    data = 42;
+    flag = 1;
+}
+void reader() {
+    int f = flag;
+    int d = data;
+    if (f == 1) {
+        assert(d == 42);
+    }
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn writer();
+    t2 = spawn reader();
+    join(t1);
+    join(t2);
+    return 0;
+}
+"""
+
+SB_SRC = """
+int x = 0;
+int y = 0;
+int r1 = 0;
+int r2 = 0;
+void t1() {
+    x = 1;
+    r1 = y;
+}
+void t2() {
+    y = 1;
+    r2 = x;
+}
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn t1();
+    h2 = spawn t2();
+    join(h1);
+    join(h2);
+    int a = r1;
+    int b = r2;
+    assert(a + b > 0);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def race_program():
+    return compile_source(RACE_SRC, name="race")
+
+
+@pytest.fixture
+def locked_program():
+    return compile_source(LOCKED_SRC, name="locked")
+
+
+@pytest.fixture
+def condvar_program():
+    return compile_source(CONDVAR_SRC, name="condvar")
+
+
+@pytest.fixture
+def mp_program():
+    """Message passing: assert fails only when stores reorder (PSO)."""
+    return compile_source(MP_SRC, name="mp")
+
+
+@pytest.fixture
+def sb_program():
+    """Store buffering: assert fails only under TSO/PSO."""
+    return compile_source(SB_SRC, name="sb")

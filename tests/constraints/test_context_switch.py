@@ -1,0 +1,110 @@
+"""Segment splitting and the interleaved-segment context-switch count."""
+
+from repro.analysis.symexec import SymSAP, ThreadSummary
+from repro.constraints.context_switch import count_context_switches, thread_segments
+from repro.runtime import events as ev
+
+
+def saps(thread, kinds):
+    return [
+        SymSAP(thread=thread, index=i, kind=kind, addr=None)
+        for i, kind in enumerate(kinds)
+    ]
+
+
+def summaries(*threads):
+    result = {}
+    for thread, kinds in threads:
+        s = ThreadSummary(thread=thread)
+        s.saps = saps(thread, kinds)
+        result[thread] = s
+    return result
+
+
+def test_must_interleave_ops_close_segments():
+    segs = thread_segments(
+        saps("t", [ev.START, ev.READ, ev.WRITE, ev.WAIT, ev.READ, ev.EXIT])
+    )
+    assert [len(s) for s in segs] == [1, 3, 2]
+    assert segs[1][-1] == ("t", 3)  # wait ends its segment
+
+
+def test_trailing_partial_segment_kept():
+    segs = thread_segments(saps("t", [ev.START, ev.READ, ev.WRITE]))
+    assert [len(s) for s in segs] == [1, 2]
+
+
+def test_contiguous_schedule_has_zero_switches():
+    ss = summaries(
+        ("1", [ev.START, ev.READ, ev.WRITE, ev.EXIT]),
+        ("2", [ev.START, ev.READ, ev.EXIT]),
+    )
+    schedule = [("1", 0), ("1", 1), ("1", 2), ("1", 3), ("2", 0), ("2", 1), ("2", 2)]
+    assert count_context_switches(schedule, ss) == 0
+
+
+def test_interleaving_one_segment_counts_once():
+    ss = summaries(
+        ("1", [ev.START, ev.READ, ev.READ, ev.READ, ev.EXIT]),
+        ("2", [ev.START, ev.WRITE, ev.EXIT]),
+    )
+    # Thread 2 runs contiguously in the middle of thread 1's long segment:
+    # exactly one segment (thread 1's) is interleaved.
+    schedule = [
+        ("1", 0),
+        ("1", 1),
+        ("2", 0),
+        ("2", 1),
+        ("2", 2),
+        ("1", 2),
+        ("1", 3),
+        ("1", 4),
+    ]
+    assert count_context_switches(schedule, ss) == 1
+
+
+def test_mutual_interleaving_counts_each_segment():
+    ss = summaries(
+        ("1", [ev.START, ev.READ, ev.READ, ev.EXIT]),
+        ("2", [ev.START, ev.READ, ev.READ, ev.EXIT]),
+    )
+    # Alternate the two middle segments: both get interleaved.
+    schedule = [
+        ("1", 0),
+        ("2", 0),
+        ("1", 1),
+        ("2", 1),
+        ("1", 2),
+        ("2", 2),
+        ("1", 3),
+        ("2", 3),
+    ]
+    assert count_context_switches(schedule, ss) == 2
+
+
+def test_switch_at_yield_boundary_is_free():
+    ss = summaries(
+        ("1", [ev.START, ev.READ, ev.YIELD, ev.READ, ev.EXIT]),
+        ("2", [ev.START, ev.WRITE, ev.EXIT]),
+    )
+    # Thread 2 runs exactly between thread 1's yield-delimited segments.
+    schedule = [
+        ("1", 0),
+        ("1", 1),
+        ("1", 2),
+        ("2", 0),
+        ("2", 1),
+        ("2", 2),
+        ("1", 3),
+        ("1", 4),
+    ]
+    assert count_context_switches(schedule, ss) == 0
+
+
+def test_single_sap_segment_never_interleaved():
+    ss = summaries(
+        ("1", [ev.START, ev.JOIN, ev.EXIT]),
+        ("2", [ev.START, ev.EXIT]),
+    )
+    schedule = [("1", 0), ("2", 0), ("1", 1), ("2", 1), ("1", 2)]
+    assert count_context_switches(schedule, ss) == 0

@@ -1,0 +1,108 @@
+"""End-to-end encoding: a recorded buggy run becomes a ConstraintSystem."""
+
+import pytest
+
+from repro.analysis.escape import shared_variables
+from repro.analysis.symexec import execute_recorded_paths
+from repro.constraints.encoder import EncodingError, encode
+from repro.constraints.stats import compute_stats
+from repro.minilang import compile_source
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.scheduler import RandomScheduler, find_buggy_seed
+from repro.tracing.decoder import decode_log
+from repro.tracing.recorder import PathRecorder
+
+from tests.conftest import RACE_SRC
+
+
+def build_system(src, memory_model="sc", require_bug=True, seeds=range(200), **sched):
+    prog = compile_source(src)
+    shared = shared_variables(prog)
+    for seed in seeds:
+        recorder = PathRecorder(prog)
+        interp = Interpreter(
+            prog,
+            memory_model=memory_model,
+            scheduler=RandomScheduler(seed, **sched),
+            shared=shared,
+            hooks=[recorder],
+        )
+        result = interp.run()
+        recorder.finalize(interp)
+        if not require_bug or result.bug is not None:
+            summaries = execute_recorded_paths(
+                prog, decode_log(recorder), shared, bug=result.bug
+            )
+            return encode(summaries, memory_model, prog.symbols, shared), result
+    raise AssertionError("bug never manifested")
+
+
+def test_encoding_covers_all_saps():
+    system, result = build_system(RACE_SRC, stickiness=0.3)
+    assert len(system.saps) == result.total_saps()
+    assert set(system.thread_order) == set(system.summaries)
+
+
+def test_bug_predicate_required():
+    system, result = build_system(RACE_SRC, stickiness=0.3)
+    assert system.bug_exprs
+    # A clean run has no bug predicate and must be rejected.
+    prog = compile_source(RACE_SRC)
+    shared = shared_variables(prog)
+    recorder = PathRecorder(prog)
+    interp = Interpreter(
+        prog,
+        scheduler=RandomScheduler(999, stickiness=0.95),
+        shared=shared,
+        hooks=[recorder],
+    )
+    result = interp.run()
+    if result.bug is not None:
+        pytest.skip("seed unexpectedly buggy")
+    recorder.finalize(interp)
+    summaries = execute_recorded_paths(prog, decode_log(recorder), shared, bug=None)
+    with pytest.raises(EncodingError):
+        encode(summaries, "sc", prog.symbols, shared)
+
+
+def test_initial_values_recorded():
+    src = """
+    shared int x = 7;
+    shared int a[2];
+    void w() { x = 1; }
+    int main() {
+        int t = 0;
+        t = spawn w();
+        join(t);
+        assert(x == 7);
+        return 0;
+    }
+    """
+    system, _ = build_system(src, seeds=range(300), stickiness=0.3)
+    assert system.initial_values[("x",)] == 7
+    assert system.initial_values[("a", 0)] == 0
+
+
+def test_stats_counts():
+    system, _ = build_system(RACE_SRC, stickiness=0.3)
+    stats = compute_stats(system)
+    assert stats.n_saps == len(system.saps)
+    assert stats.n_value_vars == len([s for s in system.saps.values() if s.is_read])
+    assert stats.n_constraints > 0
+    assert stats.n_variables >= stats.n_order_vars
+
+
+def test_sc_has_full_chains():
+    system, _ = build_system(RACE_SRC, stickiness=0.3)
+    # For each thread with n SAPs, SC contributes n-1 chain edges.
+    per_thread = {t: 0 for t in system.summaries}
+    hard = {(e.a, e.b) for e in system.hard_edges}
+    for thread, summary in system.summaries.items():
+        for a, b in zip(summary.saps, summary.saps[1:]):
+            assert (a.uid, b.uid) in hard
+
+
+def test_rw_candidates_populated_for_all_reads():
+    system, _ = build_system(RACE_SRC, stickiness=0.3)
+    reads = [s.uid for s in system.saps.values() if s.is_read]
+    assert set(system.rf_candidates) == set(reads)

@@ -1,0 +1,130 @@
+"""Fmo must encode exactly the orderings each memory model preserves."""
+
+from repro.analysis.symexec import SymSAP
+from repro.constraints.memory_order import thread_memory_order
+from repro.runtime import events as ev
+
+
+def make_saps(spec):
+    """spec: list of (kind, addr) -> SymSAP list for thread 't'."""
+    saps = []
+    for i, (kind, addr) in enumerate(spec):
+        saps.append(SymSAP(thread="t", index=i, kind=kind, addr=addr))
+    return saps
+
+
+def edges_of(spec, model):
+    saps = make_saps(spec)
+    return {(e.a[1], e.b[1]) for e in thread_memory_order(saps, model)}
+
+
+def reachable(edges, n):
+    """Transitive closure over indices 0..n-1."""
+    adj = {i: set() for i in range(n)}
+    for a, b in edges:
+        adj[a].add(b)
+    closure = set()
+    for start in range(n):
+        stack = [start]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            for nxt in adj[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        closure |= {(start, x) for x in seen}
+    return closure
+
+
+WRITE_READ = [
+    (ev.WRITE, ("x",)),  # 0
+    (ev.READ, ("y",)),  # 1
+]
+
+TWO_WRITES = [
+    (ev.WRITE, ("x",)),  # 0
+    (ev.WRITE, ("y",)),  # 1
+]
+
+
+def test_sc_is_full_program_order():
+    spec = [
+        (ev.START, None),
+        (ev.WRITE, ("x",)),
+        (ev.READ, ("y",)),
+        (ev.EXIT, None),
+    ]
+    edges = edges_of(spec, "sc")
+    assert edges == {(0, 1), (1, 2), (2, 3)}
+
+
+def test_tso_relaxes_store_load():
+    closure = reachable(edges_of(WRITE_READ, "tso"), 2)
+    assert (0, 1) not in closure, "TSO lets the read pass the earlier write"
+
+
+def test_tso_keeps_store_store():
+    closure = reachable(edges_of(TWO_WRITES, "tso"), 2)
+    assert (0, 1) in closure
+
+
+def test_pso_relaxes_store_store_different_addresses():
+    closure = reachable(edges_of(TWO_WRITES, "pso"), 2)
+    assert (0, 1) not in closure
+
+
+def test_pso_keeps_store_store_same_address():
+    spec = [(ev.WRITE, ("x",)), (ev.WRITE, ("x",))]
+    closure = reachable(edges_of(spec, "pso"), 2)
+    assert (0, 1) in closure
+
+
+def test_load_load_preserved_everywhere():
+    spec = [(ev.READ, ("x",)), (ev.READ, ("y",))]
+    for model in ("sc", "tso", "pso"):
+        closure = reachable(edges_of(spec, model), 2)
+        assert (0, 1) in closure, model
+
+
+def test_load_store_preserved_everywhere():
+    spec = [(ev.READ, ("x",)), (ev.WRITE, ("y",))]
+    for model in ("sc", "tso", "pso"):
+        closure = reachable(edges_of(spec, model), 2)
+        assert (0, 1) in closure, model
+
+
+def test_same_address_write_read_pinned():
+    spec = [(ev.WRITE, ("x",)), (ev.READ, ("x",))]
+    for model in ("tso", "pso"):
+        closure = reachable(edges_of(spec, model), 2)
+        assert (0, 1) in closure, model
+
+
+def test_sync_op_is_full_fence():
+    spec = [
+        (ev.WRITE, ("x",)),
+        (ev.LOCK, "m"),
+        (ev.READ, ("y",)),
+        (ev.WRITE, ("z",)),
+    ]
+    for model in ("tso", "pso"):
+        closure = reachable(edges_of(spec, model), 4)
+        assert (0, 1) in closure, "write ordered before the lock (%s)" % model
+        assert (1, 2) in closure
+        assert (1, 3) in closure
+        assert (0, 3) in closure, "fence transitively orders writes (%s)" % model
+
+
+def test_yield_is_not_a_fence():
+    spec = [
+        (ev.WRITE, ("x",)),
+        (ev.YIELD, None),
+        (ev.READ, ("y",)),
+    ]
+    for model in ("tso", "pso"):
+        closure = reachable(edges_of(spec, model), 3)
+        assert (0, 1) not in closure, (
+            "a buffered store may drain past a yield (%s)" % model
+        )
+        assert (1, 2) in closure, "yield stays ordered among reads/syncs"

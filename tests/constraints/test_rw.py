@@ -1,0 +1,79 @@
+"""Frw: reads-from candidates and no-intervening-write clauses."""
+
+from repro.analysis.symexec import SymSAP, ThreadSummary
+from repro.constraints.model import INIT, RFChoice
+from repro.constraints.rw import encode_read_write
+from repro.runtime import events as ev
+
+
+def summary(thread, kinds_addrs):
+    s = ThreadSummary(thread=thread)
+    for i, (kind, addr) in enumerate(kinds_addrs):
+        s.saps.append(SymSAP(thread=thread, index=i, kind=kind, addr=addr))
+    return s
+
+
+def test_read_candidates_include_init_and_writes():
+    t1 = summary("1", [(ev.READ, ("x",))])
+    t2 = summary("2", [(ev.WRITE, ("x",)), (ev.WRITE, ("x",))])
+    clauses, eo, rf = encode_read_write({"1": t1, "2": t2})
+    assert rf[("1", 0)] == [("2", 0), ("2", 1), INIT]
+    assert len(eo) == 1
+    assert len(eo[0].lits) == 3
+
+
+def test_same_thread_later_write_pruned():
+    # A read cannot return a program-order-later write of its own thread.
+    t1 = summary("1", [(ev.READ, ("x",)), (ev.WRITE, ("x",))])
+    clauses, eo, rf = encode_read_write({"1": t1})
+    assert rf[("1", 0)] == [INIT]
+
+
+def test_same_thread_earlier_write_is_candidate():
+    t1 = summary("1", [(ev.WRITE, ("x",)), (ev.READ, ("x",))])
+    _, _, rf = encode_read_write({"1": t1})
+    assert rf[("1", 1)] == [("1", 0), INIT]
+
+
+def test_different_addresses_do_not_mix():
+    t1 = summary("1", [(ev.READ, ("x",))])
+    t2 = summary("2", [(ev.WRITE, ("y",))])
+    _, _, rf = encode_read_write({"1": t1, "2": t2})
+    assert rf[("1", 0)] == [INIT]
+
+
+def test_array_elements_are_distinct_addresses():
+    t1 = summary("1", [(ev.READ, ("a", 0)), (ev.READ, ("a", 1))])
+    t2 = summary("2", [(ev.WRITE, ("a", 0))])
+    _, _, rf = encode_read_write({"1": t1, "2": t2})
+    assert rf[("1", 0)] == [("2", 0), INIT]
+    assert rf[("1", 1)] == [INIT]
+
+
+def test_no_intervening_write_clause_shape():
+    t1 = summary("1", [(ev.READ, ("x",))])
+    t2 = summary("2", [(ev.WRITE, ("x",)), (ev.WRITE, ("x",))])
+    clauses, _, _ = encode_read_write({"1": t1, "2": t2})
+    nomid = [c for c in clauses if c.origin == "rf-nomid"]
+    # For each of the 2 chosen writes, 1 other write -> 2 clauses.
+    assert len(nomid) == 2
+    for clause in nomid:
+        assert len(clause.lits) == 3  # !choice | other<w | r<other
+
+
+def test_init_choice_orders_read_before_all_writes():
+    t1 = summary("1", [(ev.READ, ("x",))])
+    t2 = summary("2", [(ev.WRITE, ("x",)), (ev.WRITE, ("x",))])
+    clauses, _, _ = encode_read_write({"1": t1, "2": t2})
+    init_clauses = [c for c in clauses if c.origin == "rf-init"]
+    assert len(init_clauses) == 2
+
+
+def test_clause_count_matches_quadratic_bound():
+    # 1 read, n writes: 1 rf-before per write + (n-1) rf-nomid per write
+    # + n rf-init = n + n(n-1) + n clauses.
+    n = 5
+    t1 = summary("1", [(ev.READ, ("x",))])
+    t2 = summary("2", [(ev.WRITE, ("x",))] * n)
+    clauses, _, _ = encode_read_write({"1": t1, "2": t2})
+    assert len(clauses) == n + n * (n - 1) + n

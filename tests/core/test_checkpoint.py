@@ -1,0 +1,131 @@
+"""Checkpointed suffix reproduction (the paper's §6.4 extension)."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointClapPipeline,
+    reproduce_with_checkpoints,
+)
+from repro.core.clap import ClapConfig
+from repro.minilang import compile_source
+from repro.runtime.checkpoint import (
+    is_quiescent,
+    restore_interpreter,
+    take_checkpoint,
+)
+from repro.runtime.interpreter import Interpreter, run_program
+from repro.runtime.scheduler import RandomScheduler
+
+# A long-running program: a big racy warm-up phase, then the actual bug
+# near the end — exactly the shape checkpointing is for.
+LONG_RACE_SRC = """
+int warmup = 0;
+int c = 0;
+void worker(int n) {
+    for (int i = 0; i < n; i++) {
+        int w = warmup;
+        warmup = w + 1;
+    }
+    int r = c;
+    yield;
+    c = r + 1;
+}
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn worker(25);
+    t2 = spawn worker(25);
+    join(t1);
+    join(t2);
+    assert(c == 2);
+    return 0;
+}
+"""
+
+
+def test_snapshot_restore_roundtrip():
+    prog = compile_source(LONG_RACE_SRC)
+    interp = Interpreter(prog, scheduler=RandomScheduler(1, stickiness=0.4))
+    interp.scheduler.reset()
+    # Step manually to some mid-execution point.
+    for _ in range(200):
+        actions = interp.enabled_actions()
+        if not actions:
+            break
+        action = interp.scheduler.choose(actions, interp)
+        interp.steps += 1
+        if action[0] == "flush":
+            interp._commit_flush(action[1])
+        else:
+            interp.step_thread(interp.threads[action[1]])
+    if not is_quiescent(interp):
+        pytest.skip("not quiescent at this point")
+    checkpoint = take_checkpoint(interp)
+    restored = restore_interpreter(
+        prog, checkpoint, scheduler=RandomScheduler(99, stickiness=0.4)
+    )
+    # Restored memory matches.
+    for addr, value in checkpoint.memory.items():
+        assert restored.memory.cells[addr] == value
+    # Restored threads mirror names and frame positions.
+    names = {t.name for t in restored.threads.values()}
+    assert names == {t.name for t in interp.threads.values()}
+    result = restored.run()
+    assert result.aborted is None  # suffix runs to completion
+
+
+def test_checkpointed_recording_takes_checkpoints():
+    pipe = CheckpointClapPipeline(
+        compile_source(LONG_RACE_SRC),
+        ClapConfig(stickiness=0.35),
+        interval_steps=150,
+    )
+    recorded = pipe.record()
+    assert recorded.bug is not None
+    assert recorded.n_checkpoints >= 1, "warm-up must cross the interval"
+    assert recorded.checkpoint is not None
+    # The suffix logs contain resume tokens.
+    resumed = [
+        t
+        for tokens in recorded.recorder.logs.values()
+        for t in tokens
+        if t[0] == "resume"
+    ]
+    assert resumed
+
+
+def test_suffix_is_smaller_than_full_trace():
+    config = ClapConfig(stickiness=0.35)
+    prog = compile_source(LONG_RACE_SRC)
+    full = CheckpointClapPipeline(prog, config, interval_steps=10**9)
+    cp = CheckpointClapPipeline(prog, config, interval_steps=150)
+    full_rec = full.record()
+    cp_rec = cp.record()
+    assert cp_rec.n_checkpoints >= 1
+    full_system = full.analyze(full_rec)
+    suffix_system = cp.analyze(cp_rec)
+    assert len(suffix_system.saps) < len(full_system.saps) / 2, (
+        "the suffix constraint system must be much smaller"
+    )
+
+
+@pytest.mark.parametrize("solver", ["smt", "genval"])
+def test_checkpointed_reproduction_end_to_end(solver):
+    outcome, recorded = reproduce_with_checkpoints(
+        LONG_RACE_SRC,
+        "sc",
+        interval_steps=150,
+        stickiness=0.35,
+        solver=solver,
+    )
+    assert recorded.n_checkpoints >= 1
+    assert outcome is not None, "solver failed on the suffix"
+    assert outcome.reproduced
+
+
+def test_checkpointed_reproduction_under_tso():
+    src = LONG_RACE_SRC
+    outcome, recorded = reproduce_with_checkpoints(
+        src, "tso", interval_steps=150, stickiness=0.4, flush_prob=0.2,
+    )
+    assert outcome is not None and outcome.reproduced

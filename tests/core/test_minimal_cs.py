@@ -1,0 +1,33 @@
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.core.minimal_cs import minimize_context_switches
+from repro.constraints.context_switch import count_context_switches
+from repro.solver.smt import solve_constraints
+from repro.solver.validate import validate_schedule
+
+from tests.conftest import RACE_SRC
+
+
+def test_minimize_tightens_smt_schedule():
+    pipe = ClapPipeline(RACE_SRC, ClapConfig(stickiness=0.3))
+    recorded = pipe.record()
+    system = pipe.analyze(recorded)
+    smt = solve_constraints(system)
+    assert smt.ok
+    baseline_cs = count_context_switches(smt.schedule, system.summaries)
+    result = minimize_context_switches(system, smt.schedule, max_seconds=20)
+    assert result.context_switches <= baseline_cs
+    assert result.context_switches == 1, "the race's true minimum is 1"
+    assert validate_schedule(system, result.schedule).ok
+    if baseline_cs > 1:
+        assert result.improved
+
+
+def test_minimize_keeps_already_minimal_schedule():
+    pipe = ClapPipeline(RACE_SRC, ClapConfig(stickiness=0.3, solver="genval"))
+    recorded = pipe.record()
+    system = pipe.analyze(recorded)
+    solved = pipe.solve(system)
+    assert solved.ok and solved.context_switches == 1
+    result = minimize_context_switches(system, solved.schedule, max_seconds=10)
+    assert not result.improved
+    assert result.context_switches == 1

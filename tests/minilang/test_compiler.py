@@ -1,0 +1,135 @@
+import pytest
+
+from repro.minilang import bytecode as bc
+from repro.minilang import compile_source
+from repro.minilang.errors import CompileError
+
+
+def compile_main(body, globals_=""):
+    return compile_source("%s\nint main() { %s }" % (globals_, body)).main
+
+
+def all_instrs(func):
+    return [i for b in func.blocks for i in b.instrs]
+
+
+def test_every_block_has_a_terminator():
+    prog = compile_source(
+        """
+        int x;
+        void f() { if (x > 0) { return; } else { return; } }
+        int main() { while (x < 3) { x = x + 1; } return 0; }
+        """
+    )
+    for func in prog.functions.values():
+        for block in func.blocks:
+            assert block.instrs, "%s has empty block %d" % (func.name, block.id)
+            assert block.terminator.op in bc.TERMINATORS
+
+
+def test_globals_vs_locals_resolve_to_distinct_opcodes():
+    func = compile_main("int a = 1; g = a;", globals_="int g;")
+    ops = [i.op for i in all_instrs(func)]
+    assert bc.STORE_LOCAL in ops
+    assert bc.STORE_GLOBAL in ops
+
+
+def test_array_compiles_to_elem_ops():
+    func = compile_main("a[2] = a[1] + 1;", globals_="int a[4];")
+    ops = [i.op for i in all_instrs(func)]
+    assert bc.LOAD_ELEM in ops and bc.STORE_ELEM in ops
+
+
+def test_while_produces_back_edge():
+    func = compile_main("int i = 0; while (i < 3) { i++; }")
+    edges = func.edges()
+    assert any(src > dst for src, dst in edges), "no back edge in %r" % edges
+
+
+def test_void_function_gets_implicit_return():
+    prog = compile_source("void f() { } int main() { f(); }")
+    instrs = all_instrs(prog.function("f"))
+    assert instrs[-1].op == bc.RET
+    assert instrs[-2].op == bc.CONST
+
+
+def test_call_arity_checked():
+    with pytest.raises(CompileError):
+        compile_source("void f(int a) {} int main() { f(); }")
+
+
+def test_spawn_arity_checked():
+    with pytest.raises(CompileError):
+        compile_source("void f(int a) {} int main() { int t = 0; t = spawn f(); }")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(CompileError):
+        compile_main("x = 1;")
+
+
+def test_local_shadowing_global_rejected():
+    with pytest.raises(CompileError):
+        compile_main("int g = 1;", globals_="int g;")
+
+
+def test_local_redeclaration_reinitializes():
+    # Two for-loops may both declare 'int i'.
+    func = compile_main(
+        "for (int i = 0; i < 2; i++) { } for (int i = 0; i < 2; i++) { }"
+    )
+    assert func.locals.count("i") == 1
+
+
+def test_scalar_used_as_array_rejected():
+    with pytest.raises(CompileError):
+        compile_main("g[0] = 1;", globals_="int g;")
+
+
+def test_array_used_as_scalar_rejected():
+    with pytest.raises(CompileError):
+        compile_main("a = 1;", globals_="int a[3];")
+
+
+def test_lock_on_non_mutex_rejected():
+    with pytest.raises(CompileError):
+        compile_main("lock(g);", globals_="int g;")
+
+
+def test_wait_checks_both_objects():
+    with pytest.raises(CompileError):
+        compile_main("wait(cv, cv);", globals_="cond cv;")
+
+
+def test_missing_main_rejected():
+    with pytest.raises(CompileError):
+        compile_source("void f() {}")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int x; int x; int main() {}")
+
+
+def test_constant_global_initializers_fold():
+    prog = compile_source("int x = 2 * 3 + 1; int main() {}")
+    assert prog.symbols.globals["x"].init == 7
+
+
+def test_non_constant_global_initializer_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int x; int y = x + 1; int main() {}")
+
+
+def test_branch_targets_are_valid_blocks():
+    func = compile_main(
+        "int i = 0; if (i < 1) { i = 2; } else { i = 3; } while (i > 0) { i--; }"
+    )
+    n = len(func.blocks)
+    for src, dst in func.edges():
+        assert 0 <= dst < n
+
+
+def test_instruction_count_is_positive():
+    prog = compile_source("int main() { return 0; }")
+    assert prog.instruction_count() >= 2

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.minilang.errors import LexError
+from repro.minilang.lexer import tokenize
+from repro.minilang.tokens import EOF, IDENT, INT
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_empty_source_yields_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == EOF
+
+
+def test_integers_and_identifiers():
+    toks = tokenize("abc 123 x1 _y")
+    assert [(t.kind, t.value) for t in toks[:-1]] == [
+        (IDENT, "abc"),
+        (INT, 123),
+        (IDENT, "x1"),
+        (IDENT, "_y"),
+    ]
+
+
+def test_keywords_are_distinct_kinds():
+    toks = tokenize("int while spawn assert")
+    assert [t.kind for t in toks[:-1]] == ["int", "while", "spawn", "assert"]
+
+
+def test_maximal_munch_operators():
+    toks = tokenize("a<=b==c&&d||e!=f")
+    ops = [t.kind for t in toks[:-1] if t.kind not in (IDENT,)]
+    assert ops == ["<=", "==", "&&", "||", "!="]
+
+
+def test_increment_and_compound_assign():
+    assert kinds("x++; y += 2;")[:6] == [IDENT, "++", ";", IDENT, "+=", INT]
+
+
+def test_line_comments_skipped():
+    toks = tokenize("a // comment with * everything\nb")
+    assert [t.value for t in toks[:-1]] == ["a", "b"]
+
+
+def test_block_comments_skipped_and_positions_kept():
+    toks = tokenize("a /* multi\nline */ b")
+    assert [t.value for t in toks[:-1]] == ["a", "b"]
+    assert toks[1].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never ends")
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as exc:
+        tokenize("x = $;")
+    assert "line" not in str(exc.value)  # formatted as name:line:col
+    assert ":1:5" in str(exc.value)
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  bb\n    c")
+    positions = [(t.line, t.column) for t in toks[:-1]]
+    assert positions == [(1, 1), (2, 3), (3, 5)]
+
+
+def test_negative_numbers_are_minus_then_literal():
+    toks = tokenize("-5")
+    assert toks[0].kind == "-"
+    assert toks[1].kind == INT and toks[1].value == 5

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.errors import ParseError
+from repro.minilang.parser import parse_program
+
+
+def parse_main(body):
+    src = "int main() { %s }" % body
+    return parse_program(src).function("main").body.stmts
+
+
+def first_stmt(body):
+    return parse_main(body)[0]
+
+
+def test_program_structure():
+    prog = parse_program(
+        """
+        int g = 3;
+        mutex m;
+        cond cv;
+        void f(int a) { }
+        int main() { return 0; }
+        """
+    )
+    assert [g.name for g in prog.globals] == ["g", "m", "cv"]
+    assert [f.name for f in prog.functions] == ["f", "main"]
+    assert prog.global_decl("g").init.value == 3
+    assert prog.function("f").params[0].name == "a"
+
+
+def test_shared_and_local_annotations():
+    prog = parse_program("shared int x; local int y; int main() {}")
+    assert prog.global_decl("x").sharing == "shared"
+    assert prog.global_decl("y").sharing == "local"
+
+
+def test_array_declaration():
+    prog = parse_program("int a[10]; int main() {}")
+    decl = prog.global_decl("a")
+    assert decl.is_array and decl.size == 10
+
+
+def test_precedence_climbs_correctly():
+    stmt = first_stmt("int x = 1 + 2 * 3;")
+    expr = stmt.init
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_comparison_binds_tighter_than_and():
+    stmt = first_stmt("bool b = 1 < 2 && 3 == 3;")
+    expr = stmt.init
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == "=="
+
+
+def test_unary_operators_nest():
+    stmt = first_stmt("int x = - - 5;")
+    assert isinstance(stmt.init, ast.Unary)
+    assert isinstance(stmt.init.operand, ast.Unary)
+
+
+def test_compound_assignment_desugars():
+    stmt = first_stmt("x += 2;")
+    assert isinstance(stmt, ast.Assign)
+    assert isinstance(stmt.value, ast.Binary) and stmt.value.op == "+"
+
+
+def test_increment_desugars():
+    stmt = first_stmt("x++;")
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.value.op == "+"
+    assert stmt.value.right.value == 1
+
+
+def test_for_desugars_to_while():
+    block = first_stmt("for (int i = 0; i < 3; i++) { x = i; }")
+    assert isinstance(block, ast.Block)
+    decl, loop = block.stmts
+    assert isinstance(decl, ast.LocalDecl)
+    assert isinstance(loop, ast.While)
+    # Update lands at the end of the loop body.
+    assert isinstance(loop.body.stmts[-1], ast.Assign)
+
+
+def test_if_else_and_single_statement_bodies():
+    stmt = first_stmt("if (x > 0) y = 1; else y = 2;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.then, ast.Block)
+    assert isinstance(stmt.els, ast.Block)
+
+
+def test_spawn_and_join():
+    stmts = parse_main("t = spawn f(1, 2); join(t);")
+    spawn, join = stmts
+    assert isinstance(spawn, ast.Spawn)
+    assert spawn.target == "t" and spawn.func == "f" and len(spawn.args) == 2
+    assert isinstance(join, ast.Join)
+
+
+def test_sync_statements():
+    stmts = parse_main("lock(m); unlock(m); wait(cv, m); signal(cv); broadcast(cv);")
+    assert [type(s).__name__ for s in stmts] == [
+        "LockStmt",
+        "UnlockStmt",
+        "WaitStmt",
+        "SignalStmt",
+        "BroadcastStmt",
+    ]
+    assert stmts[2].cond == "cv" and stmts[2].mutex == "m"
+
+
+def test_assert_records_location_message():
+    stmt = first_stmt("assert(x == 1);")
+    assert isinstance(stmt, ast.AssertStmt)
+    assert "assert at" in stmt.message
+
+
+def test_array_index_expression():
+    stmt = first_stmt("x = a[i + 1];")
+    assert isinstance(stmt.value, ast.Index)
+    assert stmt.value.name == "a"
+
+
+def test_call_expression():
+    stmt = first_stmt("x = f(1) + g();")
+    assert isinstance(stmt.value.left, ast.Call)
+    assert isinstance(stmt.value.right, ast.Call)
+
+
+def test_assignment_to_non_lvalue_rejected():
+    with pytest.raises(ParseError):
+        parse_main("1 + 2 = 3;")
+
+
+def test_missing_semicolon_reports_position():
+    with pytest.raises(ParseError):
+        parse_main("x = 1")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse_program("int main() { x = 1;")
+
+
+def test_spawn_cannot_initialize_declaration():
+    with pytest.raises(ParseError):
+        parse_main("int t = spawn f();")

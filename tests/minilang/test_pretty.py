@@ -1,0 +1,83 @@
+"""Pretty-printer round trips: parse(pretty(parse(src))) == parse(src)."""
+
+import pytest
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.parser import parse_program
+from repro.minilang.pretty import pretty_expr, pretty_program
+
+from tests.conftest import CONDVAR_SRC, LOCKED_SRC, MP_SRC, RACE_SRC, SB_SRC
+
+
+def strip_positions(node):
+    """Structural fingerprint of an AST node, ignoring line/column."""
+    if isinstance(node, ast.Node):
+        fields = {}
+        for name, value in vars(node).items():
+            # 'message' embeds the assert's source line: position-derived.
+            if name in ("line", "column", "message"):
+                continue
+            fields[name] = strip_positions(value)
+        return (type(node).__name__, tuple(sorted(fields.items())))
+    if isinstance(node, list):
+        return tuple(strip_positions(x) for x in node)
+    return node
+
+
+def roundtrip(src):
+    first = parse_program(src)
+    printed = pretty_program(first)
+    second = parse_program(printed)
+    assert strip_positions(first) == strip_positions(second), printed
+    return printed
+
+
+@pytest.mark.parametrize(
+    "src", [RACE_SRC, LOCKED_SRC, CONDVAR_SRC, MP_SRC, SB_SRC]
+)
+def test_fixture_programs_roundtrip(src):
+    roundtrip(src)
+
+
+def test_benchmarks_roundtrip():
+    from repro.bench.programs import all_benchmarks
+
+    for name, bench in all_benchmarks().items():
+        roundtrip(bench.source)
+
+
+def test_precedence_parenthesization():
+    src = """
+    int main() {
+        int a = (1 + 2) * 3;
+        int b = 1 + 2 * 3;
+        int c = -(1 + 2);
+        bool d = (1 < 2) == (3 < 4);
+        bool e = !(1 == 2) && true;
+        int f = 1 - (2 - 3);
+        return 0;
+    }
+    """
+    printed = roundtrip(src)
+    assert "(1 + 2) * 3" in printed
+    assert "1 + 2 * 3" in printed
+    assert "1 - (2 - 3)" in printed
+
+
+def test_expr_printer_is_minimal():
+    prog = parse_program("int main() { int x = 1 + 2 + 3; return x; }")
+    decl = prog.function("main").body.stmts[0]
+    assert pretty_expr(decl.init) == "1 + 2 + 3"
+
+
+def test_annotations_preserved():
+    printed = roundtrip("shared int x; local int y[4]; mutex m; cond c; int main() {}")
+    assert "shared int x;" in printed
+    assert "local int y[4];" in printed
+
+
+def test_desugared_forms_print():
+    # for / += / ++ come out of the parser desugared; they must still
+    # round-trip through their lowered forms.
+    src = "int main() { for (int i = 0; i < 4; i++) { i += 2; } return 0; }"
+    roundtrip(src)

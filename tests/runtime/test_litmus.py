@@ -1,0 +1,46 @@
+"""Memory-model litmus tests: the substrate matches the architecture."""
+
+import pytest
+
+from repro.runtime.litmus import (
+    FORBIDDEN,
+    LITMUS_TESTS,
+    REQUIRED_WITNESS,
+    run_litmus,
+)
+
+MODELS = ("sc", "tso", "pso")
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+@pytest.mark.parametrize("model", MODELS)
+def test_forbidden_outcomes_never_observed(name, model):
+    result = run_litmus(name, model, seeds=range(400))
+    forbidden = FORBIDDEN[(name, model)]
+    assert not (result.outcomes & forbidden), (
+        "%s under %s exhibited forbidden outcome(s) %s"
+        % (name, model, result.outcomes & forbidden)
+    )
+
+
+@pytest.mark.parametrize(
+    "name,model", sorted((n, m) for (n, m) in REQUIRED_WITNESS)
+)
+def test_relaxed_witnesses_reachable(name, model):
+    witness = REQUIRED_WITNESS[(name, model)]
+    result = run_litmus(name, model, seeds=range(800), flush_prob=0.03)
+    assert witness in result.outcomes, (
+        "%s under %s never exhibited its witness %s (outcomes: %s)"
+        % (name, model, witness, sorted(result.outcomes))
+    )
+
+
+def test_sc_outcomes_subset_of_tso_subset_of_pso():
+    """Monotonicity: every SC outcome is TSO-reachable; every TSO outcome
+    is PSO-reachable (weaker models only add behaviours)."""
+    for name in LITMUS_TESTS:
+        sc = run_litmus(name, "sc", seeds=range(300)).outcomes
+        tso = run_litmus(name, "tso", seeds=range(600), flush_prob=0.05).outcomes
+        pso = run_litmus(name, "pso", seeds=range(600), flush_prob=0.05).outcomes
+        assert sc <= tso, (name, sc - tso)
+        assert tso <= pso, (name, tso - pso)

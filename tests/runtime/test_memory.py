@@ -1,0 +1,136 @@
+import pytest
+
+from repro.minilang import compile_source
+from repro.runtime.memory import PSOMemory, SCMemory, TSOMemory, make_memory
+
+
+@pytest.fixture
+def symbols():
+    prog = compile_source(
+        "int x = 5; int y; int a[3]; mutex m; int main() {}"
+    )
+    return prog.symbols
+
+
+def test_initial_values(symbols):
+    mem = SCMemory(symbols)
+    assert mem.read(1, ("x",)) == 5
+    assert mem.read(1, ("y",)) == 0
+    assert mem.read(1, ("a", 2)) == 0
+
+
+def test_unknown_address_rejected(symbols):
+    mem = SCMemory(symbols)
+    with pytest.raises(KeyError):
+        mem.read(1, ("zzz",))
+    with pytest.raises(IndexError):
+        mem.read(1, ("a", 99))
+
+
+def test_sc_writes_are_immediately_visible(symbols):
+    mem = SCMemory(symbols)
+    mem.write(1, ("x",), 9)
+    assert mem.read(2, ("x",)) == 9
+    assert mem.flush_choices() == []
+
+
+def test_tso_write_buffers_until_flush(symbols):
+    mem = TSOMemory(symbols)
+    mem.write(1, ("x",), 9)
+    assert mem.read(2, ("x",)) == 5, "other thread sees old value"
+    assert mem.read(1, ("x",)) == 9, "own thread forwards from buffer"
+    (pending,) = mem.flush_choices()
+    mem.flush(pending)
+    assert mem.read(2, ("x",)) == 9
+
+
+def test_tso_buffer_is_fifo(symbols):
+    mem = TSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(1, ("y",), 2)
+    choices = mem.flush_choices()
+    assert len(choices) == 1, "only the FIFO head is flushable"
+    assert choices[0].addr == ("x",)
+    # Flushing a non-head store is rejected.
+    head = choices[0]
+    mem.flush(head)
+    (second,) = mem.flush_choices()
+    assert second.addr == ("y",)
+
+
+def test_tso_flush_non_head_rejected(symbols):
+    mem = TSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(1, ("y",), 2)
+    stores = mem.pending_stores(1)
+    with pytest.raises(ValueError):
+        mem.flush(stores[1])
+
+
+def test_pso_different_addresses_flush_in_either_order(symbols):
+    mem = PSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(1, ("y",), 2)
+    choices = mem.flush_choices()
+    assert {c.addr for c in choices} == {("x",), ("y",)}
+    # Drain y first: the PSO reordering.
+    y = next(c for c in choices if c.addr == ("y",))
+    mem.flush(y)
+    assert mem.global_value(("y",)) == 2
+    assert mem.global_value(("x",)) == 5
+
+
+def test_pso_same_address_stays_fifo(symbols):
+    mem = PSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(1, ("x",), 2)
+    (head,) = mem.flush_choices()
+    mem.flush(head)
+    assert mem.global_value(("x",)) == 1
+    (second,) = mem.flush_choices()
+    mem.flush(second)
+    assert mem.global_value(("x",)) == 2
+
+
+def test_pso_read_forwards_newest_own_store(symbols):
+    mem = PSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(1, ("x",), 2)
+    assert mem.read(1, ("x",)) == 2
+    assert mem.read(2, ("x",)) == 5
+
+
+def test_fence_drains_only_that_thread(symbols):
+    for cls in (TSOMemory, PSOMemory):
+        mem = cls(symbols)
+        mem.write(1, ("x",), 1)
+        mem.write(2, ("y",), 2)
+        mem.fence(1)
+        assert mem.global_value(("x",)) == 1
+        assert mem.global_value(("y",)) == 0
+        assert mem.pending_count(2) == 1
+
+
+def test_drain_all(symbols):
+    mem = PSOMemory(symbols)
+    mem.write(1, ("x",), 1)
+    mem.write(2, ("y",), 2)
+    mem.drain_all()
+    assert mem.pending_count() == 0
+    assert mem.global_value(("x",)) == 1
+    assert mem.global_value(("y",)) == 2
+
+
+def test_non_shared_addresses_bypass_buffers(symbols):
+    mem = TSOMemory(symbols, shared_addrs=lambda addr: addr[0] == "x")
+    mem.write(1, ("y",), 7)
+    assert mem.global_value(("y",)) == 7
+    assert mem.pending_count() == 0
+
+
+def test_make_memory_dispatch(symbols):
+    assert make_memory("sc", symbols).model == "sc"
+    assert make_memory("tso", symbols).model == "tso"
+    assert make_memory("pso", symbols).model == "pso"
+    with pytest.raises(ValueError):
+        make_memory("rmo", symbols)

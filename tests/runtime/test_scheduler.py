@@ -1,0 +1,94 @@
+from repro.minilang import compile_source
+from repro.runtime.interpreter import Interpreter, run_program
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    find_buggy_seed,
+)
+
+TWO_WRITERS = """
+int x = 0;
+void a() { x = 1; }
+void b() { x = 2; }
+int main() {
+    int t1 = 0; int t2 = 0;
+    t1 = spawn a(); t2 = spawn b();
+    join(t1); join(t2);
+    return 0;
+}
+"""
+
+
+def test_fixed_scheduler_controls_interleaving():
+    prog = compile_source(TWO_WRITERS)
+    # Drive main until both children spawned, then run thread 3 (b) fully
+    # before thread 2 (a): final x must be 1.
+    decisions = [("step", 1)] * 40 + [("step", 3)] * 40 + [("step", 2)] * 40 + [
+        ("step", 1)
+    ] * 40
+    res = run_program(prog, scheduler=FixedScheduler(decisions))
+    assert res.final_globals[("x",)] == 1
+    # And the other way round: final x must be 2.
+    decisions = [("step", 1)] * 40 + [("step", 2)] * 40 + [("step", 3)] * 40 + [
+        ("step", 1)
+    ] * 40
+    res = run_program(prog, scheduler=FixedScheduler(decisions))
+    assert res.final_globals[("x",)] == 2
+
+
+def test_random_scheduler_reset_restores_determinism():
+    sched = RandomScheduler(42, stickiness=0.3)
+    prog = compile_source(TWO_WRITERS)
+    r1 = Interpreter(prog, scheduler=sched).run()
+    sched2 = RandomScheduler(42, stickiness=0.3)
+    r2 = Interpreter(prog, scheduler=sched2).run()
+    assert r1.schedule() == r2.schedule()
+
+
+def test_different_seeds_explore_different_interleavings():
+    prog = compile_source(TWO_WRITERS)
+    finals = set()
+    for seed in range(40):
+        res = run_program(prog, seed=seed, stickiness=0.3)
+        finals.add(res.final_globals[("x",)])
+    assert finals == {1, 2}, "seeded runs never exercised both write orders"
+
+
+def test_round_robin_quantum_bounds_bursts():
+    prog = compile_source(TWO_WRITERS)
+    res = run_program(prog, scheduler=RoundRobinScheduler(quantum=2))
+    assert res.bug is None
+
+
+def test_find_buggy_seed_returns_none_for_correct_program(locked_program):
+    assert (
+        find_buggy_seed(locked_program, "sc", seeds=range(30), stickiness=0.3)
+        is None
+    )
+
+
+def test_find_buggy_seed_finds_race(race_program):
+    hit = find_buggy_seed(race_program, "sc", seeds=range(100), stickiness=0.3)
+    assert hit is not None
+    seed, result = hit
+    assert result.bug is not None
+
+
+def test_yielding_thread_loses_turn():
+    # A spin loop with yield must let the other thread make progress even
+    # under maximal stickiness.
+    src = """
+    int flag = 0;
+    void setter() { flag = 1; }
+    int main() {
+        int t = 0;
+        t = spawn setter();
+        while (flag == 0) { yield; }
+        join(t);
+        return 0;
+    }
+    """
+    prog = compile_source(src)
+    res = run_program(prog, seed=0, stickiness=1.0, max_steps=100_000)
+    assert res.ok

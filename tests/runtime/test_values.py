@@ -1,0 +1,63 @@
+import pytest
+
+from repro.runtime.errors import MiniRuntimeError
+from repro.runtime.values import c_div, c_mod, eval_binop, eval_unop, truthy
+
+
+def test_c_division_truncates_toward_zero():
+    assert c_div(7, 2) == 3
+    assert c_div(-7, 2) == -3
+    assert c_div(7, -2) == -3
+    assert c_div(-7, -2) == 3
+
+
+def test_c_mod_sign_follows_dividend():
+    assert c_mod(7, 3) == 1
+    assert c_mod(-7, 3) == -1
+    assert c_mod(7, -3) == 1
+    assert c_mod(-7, -3) == -1
+
+
+def test_div_mod_identity():
+    for a in range(-20, 21):
+        for b in (-7, -3, -1, 1, 2, 5):
+            assert c_div(a, b) * b + c_mod(a, b) == a
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(MiniRuntimeError):
+        c_div(1, 0)
+    with pytest.raises(MiniRuntimeError):
+        c_mod(1, 0)
+
+
+def test_comparisons_return_ints():
+    assert eval_binop("<", 1, 2) == 1
+    assert eval_binop(">=", 1, 2) == 0
+    assert eval_binop("==", 3, 3) == 1
+    assert eval_binop("!=", 3, 3) == 0
+
+
+def test_logical_ops_are_strict_on_ints():
+    assert eval_binop("&&", 5, -1) == 1
+    assert eval_binop("&&", 5, 0) == 0
+    assert eval_binop("||", 0, 0) == 0
+    assert eval_binop("||", 0, 7) == 1
+
+
+def test_unary_ops():
+    assert eval_unop("-", 5) == -5
+    assert eval_unop("!", 0) == 1
+    assert eval_unop("!", 3) == 0
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(MiniRuntimeError):
+        eval_binop("**", 2, 3)
+    with pytest.raises(MiniRuntimeError):
+        eval_unop("~", 2)
+
+
+def test_truthy():
+    assert truthy(1) and truthy(-5)
+    assert not truthy(0)

@@ -1,0 +1,161 @@
+"""CDCL SAT core: correctness against brute force + behavioural checks."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.cdcl import CDCLSolver, SAT, UNSAT
+
+
+def brute_force_sat(n, clauses):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+def model_satisfies(model, clauses):
+    for clause in clauses:
+        ok = False
+        for lit in clause:
+            value = model.get(abs(lit))
+            if value is not None and value == (lit > 0):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+def solve(clauses):
+    solver = CDCLSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver, solver.solve()
+
+
+def test_empty_problem_is_sat():
+    solver = CDCLSolver()
+    assert solver.solve() == SAT
+
+
+def test_unit_clauses_propagate():
+    solver, result = solve([[1], [-1, 2], [-2, 3]])
+    assert result == SAT
+    model = solver.model()
+    assert model[1] and model[2] and model[3]
+
+
+def test_trivially_unsat():
+    _, result = solve([[1], [-1]])
+    assert result == UNSAT
+
+
+def test_empty_clause_is_unsat():
+    _, result = solve([[1, 2], []])
+    assert result == UNSAT
+
+
+def test_tautology_ignored():
+    solver, result = solve([[1, -1]])
+    assert result == SAT
+
+
+def test_pigeonhole_2_into_1_unsat():
+    # p1 in h1, p2 in h1, not both.
+    _, result = solve([[1], [2], [-1, -2]])
+    assert result == UNSAT
+
+
+def test_php_3_pigeons_2_holes():
+    # var(p, h) for p in 0..2, h in 0..1
+    def v(p, h):
+        return p * 2 + h + 1
+
+    clauses = []
+    for p in range(3):
+        clauses.append([v(p, 0), v(p, 1)])
+    for h in range(2):
+        for p1 in range(3):
+            for p2 in range(p1 + 1, 3):
+                clauses.append([-v(p1, h), -v(p2, h)])
+    _, result = solve(clauses)
+    assert result == UNSAT
+
+
+def test_incremental_clause_addition():
+    solver = CDCLSolver()
+    solver.add_clause([1, 2])
+    assert solver.solve() == SAT
+    solver.add_clause([-1])
+    assert solver.solve() == SAT
+    assert solver.model()[2] is True
+    solver.add_clause([-2])
+    assert solver.solve() == UNSAT
+
+
+def test_blocking_clauses_enumerate_models():
+    solver = CDCLSolver()
+    solver.add_clause([1, 2])
+    models = set()
+    while solver.solve() == SAT:
+        model = solver.model()
+        key = (model.get(1, False), model.get(2, False))
+        assert key not in models
+        models.add(key)
+        solver.add_clause([-1 if model.get(1) else 1, -2 if model.get(2) else 2])
+    assert models == {(True, True), (True, False), (False, True)}
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_instances_match_brute_force(seed):
+    rng = random.Random(seed)
+    for _ in range(60):
+        n = rng.randint(1, 9)
+        m = rng.randint(1, 35)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(m)
+        ]
+        solver, result = solve(clauses)
+        expected = SAT if brute_force_sat(n, clauses) else UNSAT
+        assert result == expected, clauses
+        if result == SAT:
+            assert model_satisfies(solver.model(), clauses), clauses
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_hypothesis_instances(data):
+    n = data.draw(st.integers(1, 7))
+    clauses = data.draw(
+        st.lists(
+            st.lists(
+                st.integers(1, n).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            max_size=25,
+        )
+    )
+    solver, result = solve(clauses)
+    expected = SAT if brute_force_sat(n, clauses) else UNSAT
+    assert result == expected
+    if result == SAT:
+        assert model_satisfies(solver.model(), clauses)
+
+
+def test_hard_random_3sat_near_threshold():
+    rng = random.Random(7)
+    n, m = 40, 170
+    clauses = [
+        [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3)] for _ in range(m)
+    ]
+    solver, result = solve(clauses)
+    assert result in (SAT, UNSAT)
+    if result == SAT:
+        assert model_satisfies(solver.model(), clauses)

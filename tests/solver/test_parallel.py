@@ -1,0 +1,79 @@
+"""Generate-and-validate driver (sequential and parallel modes)."""
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.constraints.context_switch import count_context_switches
+from repro.runtime.replay import replay_schedule
+from repro.solver.parallel import _bug_holds, solve_generate_validate
+from repro.solver.schedule_gen import ScheduleGenerator
+from repro.solver.validate import validate_schedule
+
+from tests.conftest import RACE_SRC
+
+
+@pytest.fixture(scope="module")
+def race_setup():
+    pipe = ClapPipeline(RACE_SRC, ClapConfig(stickiness=0.3))
+    recorded = pipe.record()
+    system = pipe.analyze(recorded)
+    return pipe, recorded, system
+
+
+def test_sequential_solve_finds_minimal_schedule(race_setup):
+    pipe, recorded, system = race_setup
+    result = solve_generate_validate(system)
+    assert result.ok
+    assert result.context_switches == 1, "race needs exactly one preemption"
+    assert result.rounds == 1
+    assert result.generated > 0
+    assert result.good >= 1
+
+
+def test_solution_is_valid_and_replayable(race_setup):
+    pipe, recorded, system = race_setup
+    result = solve_generate_validate(system)
+    assert validate_schedule(system, result.schedule).ok
+    outcome = replay_schedule(
+        pipe.program,
+        result.schedule,
+        "sc",
+        shared=pipe.shared,
+        expected_bug=recorded.bug,
+    )
+    assert outcome.reproduced
+
+
+def test_all_good_schedules_manifest_bug(race_setup):
+    pipe, recorded, system = race_setup
+    result = solve_generate_validate(system)
+    gen = ScheduleGenerator(system)
+    for schedule in result.good_schedules:
+        assert _bug_holds(system, schedule, gen)
+        assert (
+            count_context_switches(schedule, system.summaries)
+            >= result.context_switches
+        )
+
+
+def test_zero_budget_round_cannot_find_race(race_setup):
+    pipe, recorded, system = race_setup
+    result = solve_generate_validate(system, max_cs=0)
+    assert not result.ok
+    assert result.generated > 0, "zero-preemption schedules exist, just no bug"
+
+
+def test_timeout(race_setup):
+    pipe, recorded, system = race_setup
+    result = solve_generate_validate(system, max_seconds=0.0)
+    assert not result.ok
+    assert result.reason == "timeout"
+
+
+@pytest.mark.slow
+def test_parallel_mode_matches_sequential(race_setup):
+    pipe, recorded, system = race_setup
+    seq = solve_generate_validate(system)
+    par = solve_generate_validate(system, workers=2, probes_per_round=8)
+    assert seq.ok and par.ok
+    assert par.context_switches == seq.context_switches

@@ -1,0 +1,133 @@
+"""Preemption-bounded schedule generation."""
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.constraints.context_switch import count_context_switches
+from repro.solver.schedule_gen import ScheduleGenerator, csp_universe
+from repro.solver.validate import ScheduleValidator
+
+from tests.conftest import CONDVAR_SRC, RACE_SRC
+
+
+@pytest.fixture(scope="module")
+def race_system():
+    pipe = ClapPipeline(RACE_SRC, ClapConfig(stickiness=0.3))
+    return pipe.analyze(pipe.record())
+
+
+def test_generated_schedules_are_complete_and_valid_fmo(race_system):
+    gen = ScheduleGenerator(race_system)
+    validator = ScheduleValidator(race_system)
+    count = 0
+    for schedule in gen.generate(max_preemptions=1, max_schedules=200):
+        count += 1
+        assert sorted(schedule) == sorted(race_system.saps)
+        # Per-thread SC order respected.
+        pos = {uid: i for i, uid in enumerate(schedule)}
+        for thread, edges in race_system.thread_order.items():
+            for a, b in edges:
+                assert pos[a] < pos[b]
+    assert count > 0
+
+
+def test_budget_bounds_interleaved_segments(race_system):
+    gen = ScheduleGenerator(race_system)
+    for c in (0, 1, 2):
+        for schedule in gen.generate(max_preemptions=c, max_schedules=100):
+            assert (
+                count_context_switches(schedule, race_system.summaries) <= c
+            )
+
+
+def test_exact_budget_filters(race_system):
+    gen = ScheduleGenerator(race_system)
+    for schedule in gen.generate(
+        max_preemptions=1, exact_preemptions=True, max_schedules=50
+    ):
+        assert count_context_switches(schedule, race_system.summaries) == 1
+
+
+def test_value_guided_pruning_respects_path_conditions(race_system):
+    gen = ScheduleGenerator(race_system)
+    validator = ScheduleValidator(race_system)
+    for schedule in gen.generate(max_preemptions=1, max_schedules=100):
+        outcome = validator.validate(schedule)
+        # Path conditions hold on every generated schedule (the bug
+        # predicate may or may not).
+        assert outcome.ok or outcome.reason == "bug predicate not satisfied"
+
+
+def test_generation_deterministic_without_seed(race_system):
+    gen = ScheduleGenerator(race_system)
+    a = [tuple(s) for s in gen.generate(max_preemptions=1, max_schedules=30)]
+    b = [tuple(s) for s in gen.generate(max_preemptions=1, max_schedules=30)]
+    assert a == b
+
+
+def test_order_seed_changes_exploration(race_system):
+    gen = ScheduleGenerator(race_system)
+    a = [tuple(s) for s in gen.generate(max_preemptions=1, max_schedules=30)]
+    b = [
+        tuple(s)
+        for s in gen.generate(max_preemptions=1, max_schedules=30, order_seed=5)
+    ]
+    assert a != b
+
+
+def test_max_schedules_budget(race_system):
+    gen = ScheduleGenerator(race_system)
+    schedules = list(gen.generate(max_preemptions=2, max_schedules=7))
+    assert len(schedules) == 7
+
+
+def test_max_steps_budget(race_system):
+    gen = ScheduleGenerator(race_system)
+    unbounded = len(list(gen.generate(max_preemptions=1, max_schedules=200)))
+    bounded = len(
+        list(gen.generate(max_preemptions=1, max_schedules=200, max_steps=60))
+    )
+    # The step budget cuts the search off early.
+    assert bounded < unbounded
+
+
+def test_csp_universe_shape(race_system):
+    universe = csp_universe(race_system)
+    threads = sorted(race_system.summaries)
+    for (t1, k, t2) in universe:
+        assert t1 in threads and t2 in threads and t1 != t2
+        assert 1 <= k <= len(race_system.summaries[t2].saps)
+
+
+def test_condvar_program_generates_feasible_schedules():
+    pipe = ClapPipeline(CONDVAR_SRC, ClapConfig(stickiness=0.4))
+    recorded = pipe.record_once(3)
+    assert recorded.bug is None
+    from repro.analysis.symexec import execute_recorded_paths
+    from repro.constraints.memory_order import encode_memory_order
+    from repro.constraints.model import ConstraintSystem
+    from repro.tracing.decoder import decode_log
+
+    summaries = execute_recorded_paths(
+        pipe.program, decode_log(recorded.recorder), pipe.shared, bug=None
+    )
+    system = ConstraintSystem(memory_model="sc", summaries=summaries)
+    for summary in summaries.values():
+        for sap in summary.saps:
+            system.saps[sap.uid] = sap
+        system.conditions.extend(summary.conditions)
+    for info in pipe.program.symbols.globals.values():
+        if info.is_data and info.name in pipe.shared:
+            system.initial_values[(info.name,)] = info.init
+    edges, per_thread = encode_memory_order(summaries, "sc")
+    system.hard_edges.extend(edges)
+    system.thread_order = per_thread
+
+    gen = ScheduleGenerator(system)
+    validator = ScheduleValidator(system)
+    found = 0
+    for schedule in gen.generate(max_preemptions=2, max_schedules=500):
+        outcome = validator.validate(schedule)
+        if outcome.ok:
+            found += 1
+    assert found > 0, "wait/signal program must admit feasible schedules"

@@ -1,0 +1,136 @@
+"""The CDCL(T) solver: reproduces bugs, respects theories, detects unsat."""
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.runtime.replay import replay_schedule
+from repro.solver.smt import SmtResult, _find_cycle, _Reachability, solve_constraints
+from repro.solver.validate import validate_schedule
+
+from tests.conftest import RACE_SRC, SB_SRC
+
+
+def pipeline_for(src, **cfg):
+    pipe = ClapPipeline(src, ClapConfig(**cfg))
+    recorded = pipe.record()
+    system = pipe.analyze(recorded)
+    return pipe, recorded, system
+
+
+def test_reachability_closure():
+    uids = ["a", "b", "c", "d"]
+    reach = _Reachability(uids, [("a", "b"), ("b", "c")])
+    assert reach.reaches("a", "c")
+    assert not reach.reaches("c", "a")
+    assert not reach.reaches("a", "d")
+
+
+def test_reachability_rejects_cycles():
+    with pytest.raises(ValueError):
+        _Reachability(["a", "b"], [("a", "b"), ("b", "a")])
+
+
+def test_find_cycle_reports_literals():
+    adjacency = {
+        "a": [("b", 5)],
+        "b": [("c", None)],  # hard edge: no literal
+        "c": [("a", 9)],
+    }
+    lits = _find_cycle(adjacency)
+    assert lits is not None
+    assert set(lits) == {5, 9}
+
+
+def test_find_cycle_none_on_dag():
+    adjacency = {"a": [("b", 1)], "b": [("c", 2)], "c": []}
+    assert _find_cycle(adjacency) is None
+
+
+def test_race_bug_solved_and_replayable():
+    pipe, recorded, system = pipeline_for(RACE_SRC, stickiness=0.3)
+    result = solve_constraints(system)
+    assert result.ok
+    assert validate_schedule(system, result.schedule).ok
+    outcome = replay_schedule(
+        pipe.program, result.schedule, "sc", shared=pipe.shared,
+        expected_bug=recorded.bug,
+    )
+    assert outcome.reproduced
+
+
+def test_sb_bug_unsat_under_sc_constraints():
+    """The store-buffering assertion can only fail under TSO; if we record
+    the failure under TSO but encode with the *SC* memory order, the
+    constraints must be unsatisfiable (the SC order forbids the outcome)."""
+    pipe, recorded, system = pipeline_for(
+        SB_SRC, memory_model="tso", stickiness=0.5, flush_prob=0.05,
+        seeds=range(400),
+    )
+    tso_result = solve_constraints(system)
+    assert tso_result.ok, "TSO encoding must reproduce the TSO bug"
+
+    # Re-encode the same summaries under SC.
+    from repro.constraints.encoder import encode
+
+    sc_system = encode(system.summaries, "sc", pipe.program.symbols, pipe.shared)
+    sc_result = solve_constraints(sc_system)
+    assert not sc_result.ok
+    assert sc_result.reason == "unsatisfiable"
+
+
+def test_solution_read_values_satisfy_bug(race_system=None):
+    pipe, recorded, system = pipeline_for(RACE_SRC, stickiness=0.3)
+    result = solve_constraints(system)
+    from repro.analysis.symbolic import sym_eval
+
+    for bug_expr in system.bug_exprs:
+        assert sym_eval(bug_expr, result.env) == 1
+
+
+def test_schedule_covers_every_sap():
+    pipe, recorded, system = pipeline_for(RACE_SRC, stickiness=0.3)
+    result = solve_constraints(system)
+    assert sorted(result.schedule) == sorted(system.saps)
+
+
+def test_timeout_reported():
+    pipe, recorded, system = pipeline_for(RACE_SRC, stickiness=0.3)
+    result = solve_constraints(system, max_seconds=0.0)
+    assert not result.ok
+    assert result.reason == "timeout"
+
+
+def test_locked_program_clean_run_unsat_for_fake_bug():
+    """With proper locking the counter is always 4; a fabricated bug
+    predicate c != 4 over a recorded clean run must be unsatisfiable."""
+    from tests.conftest import LOCKED_SRC
+    from repro.analysis.symbolic import mk_not, mk_binop
+    from repro.analysis.symexec import execute_recorded_paths
+    from repro.constraints.encoder import encode
+    from repro.tracing.decoder import decode_log
+
+    pipe = ClapPipeline(LOCKED_SRC, ClapConfig(stickiness=0.3))
+    recorded = pipe.record_once(0)
+    assert recorded.bug is None
+    summaries = execute_recorded_paths(
+        pipe.program, decode_log(recorded.recorder), pipe.shared, bug=None
+    )
+    # The final assert's read of c is the last read of thread 1.
+    main = summaries["1"]
+    last_read = [s for s in main.saps if s.is_read][-1]
+    # Fabricate: that read returned something other than 4.
+    main.bug_expr = mk_not(mk_binop("==", last_read.value, 4))
+    # Drop the real passing assert condition mentioning this read, since we
+    # are inverting it.
+    main.conditions = [
+        c for c in main.conditions if last_read.value.name not in _syms(c.expr)
+    ]
+    system = encode(summaries, "sc", pipe.program.symbols, pipe.shared)
+    result = solve_constraints(system)
+    assert not result.ok
+
+
+def _syms(expr):
+    from repro.analysis.symbolic import free_syms
+
+    return free_syms(expr)

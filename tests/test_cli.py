@@ -1,0 +1,94 @@
+"""Command-line interface tests (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import LOCKED_SRC, RACE_SRC
+
+
+@pytest.fixture
+def race_file(tmp_path):
+    path = tmp_path / "race.ml"
+    path.write_text(RACE_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def locked_file(tmp_path):
+    path = tmp_path / "locked.ml"
+    path.write_text(LOCKED_SRC)
+    return str(path)
+
+
+def test_run_clean_program(locked_file, capsys):
+    code = main(["run", locked_file, "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ok; final globals:" in out
+    assert "c = 4" in out
+
+
+def test_run_reports_failure_exit_code(race_file, capsys):
+    # Find a failing seed via the CLI loop.
+    for seed in range(100):
+        code = main(
+            ["run", race_file, "--seed", str(seed), "--stickiness", "0.3"]
+        )
+        capsys.readouterr()
+        if code == 1:
+            return
+    pytest.fail("no failing seed via CLI")
+
+
+def test_record_writes_logs(race_file, tmp_path, capsys):
+    out_path = tmp_path / "logs.json"
+    code = main(
+        ["record", race_file, "--stickiness", "0.3", "--out", str(out_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "failure:" in out
+    payload = json.loads(out_path.read_text())
+    assert "logs" in payload and payload["logs"]
+    for data in payload["logs"].values():
+        bytes.fromhex(data)  # valid hex
+
+
+def test_reproduce_end_to_end(race_file, capsys):
+    code = main(["reproduce", race_file, "--stickiness", "0.3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reproduced   : True" in out
+    assert "schedule" in out
+
+
+def test_reproduce_genval(race_file, capsys):
+    code = main(
+        ["reproduce", race_file, "--solver", "genval", "--stickiness", "0.3"]
+    )
+    assert code == 0
+    assert "reproduced   : True" in capsys.readouterr().out
+
+
+def test_disasm(race_file, capsys):
+    code = main(["disasm", race_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "func main" in out
+    assert "SPAWN" in out
+
+
+def test_trace_decodes_paths(race_file, capsys):
+    code = main(["trace", race_file, "--buggy", "--stickiness", "0.3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "thread 1" in out
+    assert "worker: blocks" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

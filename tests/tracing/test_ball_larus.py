@@ -1,0 +1,129 @@
+"""Ball-Larus numbering: uniqueness, density, decode, prefix decode."""
+
+import pytest
+
+from repro.minilang import compile_source
+from repro.tracing.ball_larus import EXIT_NODE, BallLarus, ProgramPaths
+
+
+def bl_for(body, name="f"):
+    src = "int g; void f() { %s } int main() { f(); }" % body
+    prog = compile_source(src, name="blt")
+    return BallLarus(prog.function(name))
+
+
+def enumerate_complete_paths(bl):
+    """All ENTRY->EXIT DAG paths with their summed values (real edges)."""
+    paths = []
+
+    def walk(node, blocks, total):
+        if node == EXIT_NODE:
+            paths.append((tuple(blocks), total))
+            return
+        for edge in bl._succ.get(node, []):
+            if edge.kind in ("pseudo-entry", "pseudo-exit"):
+                continue
+            walk(edge.dst, blocks + [edge.dst], total + bl.edge_val[edge])
+
+    walk(0, [0], 0)
+    return [(tuple(b for b in blocks if b != EXIT_NODE), v) for blocks, v in paths]
+
+
+def test_straight_line_has_one_path():
+    bl = bl_for("g = 1;")
+    assert bl.num_paths == 1
+    blocks, back = bl.decode(0)
+    assert not back
+
+
+def test_diamond_has_two_unique_ids():
+    bl = bl_for("if (g > 0) { g = 1; } else { g = 2; }")
+    assert bl.num_paths == 2
+    paths = enumerate_complete_paths(bl)
+    ids = sorted(v for _, v in paths)
+    assert ids == [0, 1]
+
+
+def test_sequential_branches_multiply():
+    bl = bl_for(
+        "if (g > 0) { g = 1; } else { g = 2; }"
+        "if (g > 1) { g = 3; } else { g = 4; }"
+    )
+    assert bl.num_paths == 4
+    ids = sorted(v for _, v in enumerate_complete_paths(bl))
+    assert ids == [0, 1, 2, 3], "ids must be dense in [0, num_paths)"
+
+
+def test_ids_decode_back_to_their_paths():
+    bl = bl_for(
+        "if (g > 0) { g = 1; } else { g = 2; }"
+        "if (g > 1) { g = 3; } else { g = 4; }"
+    )
+    for blocks, value in enumerate_complete_paths(bl):
+        decoded, back = bl.decode(value)
+        assert not back
+        assert tuple(decoded) == blocks
+
+
+def test_loop_produces_back_edge_and_pseudo_edges():
+    bl = bl_for("while (g < 3) { g = g + 1; }")
+    assert len(bl.back_edges) == 1
+    (u, v), = bl.back_edges
+    assert (u, v) in bl.backedge_reset
+
+
+def test_loop_segment_decode():
+    bl = bl_for("while (g < 3) { g = g + 1; }")
+    (u, v), = bl.back_edges
+    emit_add, new_counter = bl.backedge_reset[(u, v)]
+    # First segment: entry..back-edge source.
+    blocks, ended = bl.decode(0 + emit_add)
+    assert ended, "segment ending at a back edge must say so"
+    assert blocks[-1] == u
+    # Continuation segment starting at the loop header.
+    blocks2, ended2 = bl.decode(new_counter + emit_add)
+    assert blocks2[0] == v
+
+
+def test_prefix_decode_stops_at_block():
+    bl = bl_for(
+        "if (g > 0) { g = 1; } else { g = 2; }"
+        "if (g > 1) { g = 3; } else { g = 4; }"
+    )
+    for blocks, value in enumerate_complete_paths(bl):
+        # Take every proper prefix and check it decodes uniquely.
+        partial = 0
+        for i in range(1, len(blocks)):
+            prefix = blocks[:i]
+            # Compute the prefix sum by walking real edges.
+            total = 0
+            for a, b in zip(prefix, prefix[1:]):
+                total += bl.real_edge_val.get((a, b), 0)
+            decoded, _ = bl.decode(total, stop_block=prefix[-1])
+            assert tuple(decoded) == prefix
+
+
+def test_program_paths_builds_all_functions():
+    prog = compile_source(
+        "int g; void a() {} void b() { if (g > 0) { g = 1; } } int main() {}"
+    )
+    paths = ProgramPaths.build(prog)
+    assert set(paths.by_func) == {"a", "b", "main"}
+    counts = paths.static_path_counts()
+    assert counts["a"] == 1
+    assert counts["b"] == 2
+
+
+def test_instrumented_edges_reported():
+    bl = bl_for("if (g > 0) { g = 1; } else { g = 2; }")
+    # At least one real edge needs a non-zero increment for 2 paths.
+    assert bl.instrumented_edges >= 1
+
+
+def test_nested_loops():
+    bl = bl_for(
+        "for (int i = 0; i < 3; i++) { for (int j = 0; j < 2; j++) { g++; } }"
+    )
+    assert len(bl.back_edges) == 2
+    # Each back edge has a reset entry.
+    assert len(bl.backedge_reset) == 2

@@ -1,0 +1,93 @@
+"""LEAP baseline recorder: access vectors, costs, and the Heisenberg effect."""
+
+from repro.minilang import compile_source
+from repro.runtime.interpreter import Interpreter, run_program
+from repro.runtime.scheduler import RandomScheduler, find_buggy_seed
+from repro.tracing.leap import LeapRecorder
+from repro.tracing.recorder import PathRecorder
+
+from tests.conftest import MP_SRC, RACE_SRC
+
+
+def run_with_leap(src, seed=0, memory_model="sc", **sched):
+    prog = compile_source(src)
+    recorder = LeapRecorder(prog)
+    interp = Interpreter(
+        prog,
+        memory_model=memory_model,
+        scheduler=RandomScheduler(seed, **sched),
+        hooks=[recorder],
+    )
+    result = interp.run()
+    return prog, recorder, result
+
+
+def test_access_vectors_record_thread_order():
+    prog, recorder, result = run_with_leap(RACE_SRC, seed=1, stickiness=0.3)
+    assert "c" in recorder.vectors
+    accesses = recorder.vectors["c"]
+    # 2 workers x 2 iterations x (read + write) + main's assert read.
+    assert len(accesses) == 9
+    assert set(accesses) <= {1, 2, 3}
+
+
+def test_leap_cost_scales_with_shared_accesses():
+    _, recorder, _ = run_with_leap(RACE_SRC, seed=1, stickiness=0.3)
+    assert recorder.instrumentation_ops == 3 * recorder.total_accesses()
+
+
+def test_leap_log_is_larger_than_clap_log_for_shared_heavy_code():
+    src = """
+    int x = 0;
+    int y = 0;
+    void w() {
+        for (int i = 0; i < 50; i++) {
+            x = x + 1;
+            y = y + x;
+            x = x + y;
+        }
+    }
+    int main() {
+        int t1 = 0; int t2 = 0;
+        t1 = spawn w(); t2 = spawn w();
+        join(t1); join(t2);
+        return 0;
+    }
+    """
+    prog = compile_source(src)
+    leap = LeapRecorder(prog)
+    clap = PathRecorder(prog)
+    interp = Interpreter(
+        prog, scheduler=RandomScheduler(0, stickiness=0.5), hooks=[leap, clap]
+    )
+    interp.run()
+    clap.finalize(interp)
+    assert leap.log_size_bytes() > clap.log_size_bytes()
+
+
+def test_heisenberg_effect_leap_masks_pso_bug():
+    """With LEAP attached (fencing), the PSO message-passing bug cannot
+    manifest; without it, it can.  This is the paper's core motivation for
+    synchronization-free logging."""
+    prog = compile_source(MP_SRC)
+
+    def search(hooks_factory):
+        for seed in range(400):
+            hooks = hooks_factory()
+            interp = Interpreter(
+                prog,
+                memory_model="pso",
+                scheduler=RandomScheduler(seed, stickiness=0.5, flush_prob=0.05),
+                hooks=hooks,
+            )
+            result = interp.run()
+            if result.bug is not None:
+                return seed
+        return None
+
+    assert search(lambda: []) is not None, "PSO bug should manifest natively"
+    assert search(lambda: [LeapRecorder(prog)]) is None, (
+        "LEAP's locks are fences; the PSO bug must vanish while recording"
+    )
+    # CLAP's recorder adds no synchronization: the bug still manifests.
+    assert search(lambda: [PathRecorder(prog)]) is not None

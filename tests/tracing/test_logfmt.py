@@ -1,0 +1,54 @@
+import pytest
+
+from repro.tracing.logfmt import (
+    decode_tokens,
+    encode_tokens,
+    read_varint,
+    write_varint,
+)
+
+
+def roundtrip_varint(value):
+    out = bytearray()
+    write_varint(out, value)
+    decoded, pos = read_varint(bytes(out), 0)
+    assert pos == len(out)
+    return decoded
+
+
+def test_varint_small_values_one_byte():
+    out = bytearray()
+    write_varint(out, 127)
+    assert len(out) == 1
+
+
+def test_varint_roundtrip_boundaries():
+    for value in (0, 1, 127, 128, 255, 16383, 16384, 2**31, 2**64):
+        assert roundtrip_varint(value) == value
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(ValueError):
+        write_varint(bytearray(), -1)
+
+
+def test_token_roundtrip():
+    tokens = [
+        ("enter", 3),
+        ("path", 0),
+        ("path", 12345),
+        ("exit",),
+        ("enter", 0),
+        ("partial", 7, 4, 2, 1),
+    ]
+    assert decode_tokens(encode_tokens(tokens)) == tokens
+
+
+def test_empty_stream():
+    assert decode_tokens(encode_tokens([])) == []
+
+
+def test_encoding_is_compact():
+    tokens = [("enter", 1), ("path", 5), ("exit",)]
+    data = encode_tokens(tokens)
+    assert len(data) == 2 + 2 + 1
