@@ -1,0 +1,38 @@
+// ABBA deadlock pattern: the two workers take `a` and `b` in opposite
+// orders.  Data accesses are fully protected (no race diagnostics), but
+// the lock-order graph has the cycle a -> b -> a and `repro analyze`
+// reports an SR101 warning with both acquisition sites.
+
+int shared0 = 0;
+int shared1 = 0;
+mutex a;
+mutex b;
+
+void worker_ab() {
+    lock(a);
+    lock(b);
+    shared0 = shared0 + 1;
+    shared1 = shared1 + 1;
+    unlock(b);
+    unlock(a);
+}
+
+void worker_ba() {
+    lock(b);
+    lock(a);
+    shared1 = shared1 + 1;
+    shared0 = shared0 + 1;
+    unlock(a);
+    unlock(b);
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn worker_ab();
+    t1 = spawn worker_ba();
+    join(t0);
+    join(t1);
+    assert(shared0 == 2);
+    return 0;
+}

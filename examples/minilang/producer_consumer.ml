@@ -1,0 +1,48 @@
+// Lock-protected producer/consumer with condition variables.  The slot
+// and flag are consistently protected by `m` (the analyzer shows them as
+// "always under m").  `produced` is updated outside the critical section
+// but by a single producer only, and main reads it after join — the
+// MHP pass proves every pair on it sequential, so no race is reported.
+
+int slot = 0;
+int full = 0;
+int produced = 0;
+mutex m;
+cond notFull;
+cond notEmpty;
+
+void producer(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(m);
+        while (full == 1) { wait(notFull, m); }
+        slot = 10 + i;
+        full = 1;
+        signal(notEmpty);
+        unlock(m);
+        int p = produced;
+        yield;
+        produced = p + 1;
+    }
+}
+
+void consumer(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(m);
+        while (full == 0) { wait(notEmpty, m); }
+        int v = slot;
+        full = 0;
+        signal(notFull);
+        unlock(m);
+    }
+}
+
+int main() {
+    int p = 0;
+    int c = 0;
+    p = spawn producer(2);
+    c = spawn consumer(2);
+    join(p);
+    join(c);
+    assert(produced == 2);
+    return 0;
+}

@@ -1,0 +1,33 @@
+// A classic lost-update race: two workers increment an unprotected
+// counter.  `repro analyze` flags `count` with SR002/SR001 diagnostics;
+// `done0`/`done1` are race-free because fork/join orders them.
+
+int count = 0;
+int done0 = 0;
+int done1 = 0;
+
+void worker0() {
+    int t = count;
+    yield;
+    count = t + 1;
+    done0 = 1;
+}
+
+void worker1() {
+    int t = count;
+    yield;
+    count = t + 1;
+    done1 = 1;
+}
+
+int main() {
+    int a = 0;
+    int b = 0;
+    a = spawn worker0();
+    b = spawn worker1();
+    join(a);
+    join(b);
+    assert(done0 + done1 == 2);
+    assert(count == 2);
+    return 0;
+}

@@ -134,6 +134,18 @@ def shared_variables(program):
 
     This is the "#SV" column of Table 1.
     """
+    return {
+        name for name, (is_shared, _) in classify_variables(program).items() if is_shared
+    }
+
+
+def classify_variables(program):
+    """{data global: (shared?, reason)} — the full classification behind
+    :func:`shared_variables`, with a human-readable reason per variable.
+
+    Used by ``repro analyze`` to show *why* each global was classified,
+    not just the final shared set.
+    """
     accesses = transitive_accesses(program)
     roots = thread_roots(program)
     accessed_by = {}  # global -> set of roots
@@ -143,18 +155,33 @@ def shared_variables(program):
         for name in accesses[root]:
             accessed_by.setdefault(name, set()).add(root)
 
-    shared = set()
+    classified = {}
     for info in program.symbols.globals.values():
         if not info.is_data:
             continue
         if info.sharing == "shared":
-            shared.add(info.name)
+            classified[info.name] = (True, "declared 'shared'")
             continue
         if info.sharing == "local":
+            classified[info.name] = (False, "declared 'local'")
             continue
         owners = accessed_by.get(info.name, set())
+        multi = sorted(r for r in owners if roots[r] >= 2)
         if len(owners) >= 2:
-            shared.add(info.name)
-        elif any(roots[r] >= 2 for r in owners):
-            shared.add(info.name)
-    return shared
+            classified[info.name] = (
+                True,
+                "reached by threads %s" % ", ".join(sorted(owners)),
+            )
+        elif multi:
+            classified[info.name] = (
+                True,
+                "reached by multiple instances of thread %s" % multi[0],
+            )
+        elif owners:
+            classified[info.name] = (
+                False,
+                "only reached by single thread %s" % sorted(owners)[0],
+            )
+        else:
+            classified[info.name] = (False, "never accessed")
+    return classified

@@ -1,0 +1,57 @@
+"""Static concurrency analysis (Locksmith-style, the paper's citation [30]).
+
+CLAP uses static analysis twice: once to decide *which* accesses are
+shared (``repro.analysis.escape``), and once to decide which shared
+accesses can actually *race* — the paper offloads that to Locksmith and
+only encodes order constraints for the remainder.  This package is our
+version of the second half, operating on MiniLang bytecode CFGs:
+
+``sites``
+    Extraction of global-access and synchronization sites from the CFGs.
+``locksets``
+    Interprocedural must-/may-hold lockset dataflow (which mutexes are
+    provably held at each site).
+``mhp``
+    May-happen-in-parallel: spawn/join liveness inside each spawner plus
+    thread-root reachability (reusing ``escape.thread_roots``).
+``races``
+    Race-pair detection: MHP ∧ shared ∧ lockset-disjoint, and the dual
+    proven-race-free pair set used for constraint pruning.
+``lockorder``
+    Lock-order graph (acquires-while-holding) and deadlock cycles.
+``diagnostics``
+    Stable diagnostic codes, severities, text and JSON rendering.
+``prune``
+    The export consumed by ``repro.constraints``: statically proven
+    race-free site pairs keyed so recorded SAPs can be matched back.
+
+Everything here over-approximates parallelism and under-approximates
+held locks, so "racy" is conservative (superset of any dynamic
+detector's findings) and "race-free" is a proof — the only direction
+that matters when the result gates constraint pruning.
+"""
+
+from repro.analysis.static_race.diagnostics import Diagnostic, StaticReport
+from repro.analysis.static_race.lockorder import analyze_lock_order
+from repro.analysis.static_race.locksets import compute_locksets
+from repro.analysis.static_race.mhp import MHPInfo, compute_mhp
+from repro.analysis.static_race.prune import StaticPruneInfo, compute_prune_info
+from repro.analysis.static_race.races import RaceAnalysis, analyze_races
+from repro.analysis.static_race.report import analyze_program
+from repro.analysis.static_race.sites import AccessSite, collect_access_sites
+
+__all__ = [
+    "AccessSite",
+    "Diagnostic",
+    "MHPInfo",
+    "RaceAnalysis",
+    "StaticPruneInfo",
+    "StaticReport",
+    "analyze_lock_order",
+    "analyze_program",
+    "analyze_races",
+    "collect_access_sites",
+    "compute_locksets",
+    "compute_mhp",
+    "compute_prune_info",
+]

@@ -1,0 +1,157 @@
+"""Diagnostics: stable codes, severities, text and JSON rendering.
+
+Codes
+-----
+``SR001``  write-write data race (error)
+``SR002``  read-write data race (error)
+``SR101``  lock-order cycle / potential deadlock (warning)
+``SR102``  self-deadlock: re-acquiring a held non-reentrant mutex (error)
+``SR201``  shared variable (info)
+``SR202``  thread-local variable (info)
+
+The JSON shape is stable: ``{"program", "diagnostics": [{"code",
+"severity", "message", "var", "locations": [{"func", "line"}]}],
+"summary": {...}}`` — consumers (CI lint gates, editors) key off
+``code`` and ``severity``, never off message text.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Location:
+    func: str
+    line: int
+
+    def __str__(self):
+        return "%s:%d" % (self.func, self.line)
+
+
+@dataclass
+class Diagnostic:
+    code: str
+    severity: str
+    message: str
+    var: str = None  # variable or mutex the diagnostic is about, if any
+    locations: tuple = ()
+
+    def render(self):
+        where = ", ".join(str(loc) for loc in self.locations)
+        head = "%s %s: %s" % (self.severity, self.code, self.message)
+        return "%s [%s]" % (head, where) if where else head
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "var": self.var,
+            "locations": [
+                {"func": loc.func, "line": loc.line} for loc in self.locations
+            ],
+        }
+
+
+@dataclass
+class StaticReport:
+    """The full output of ``repro analyze`` for one program."""
+
+    program_name: str
+    diagnostics: list = field(default_factory=list)
+    # var -> (shared?, reason) — the escape-pass classification table.
+    variables: dict = field(default_factory=dict)
+    # var -> frozenset of mutexes consistently held at every access.
+    consistent_locks: dict = field(default_factory=dict)
+    racy_vars: set = field(default_factory=set)
+    lock_cycles: list = field(default_factory=list)
+
+    def add(self, diag):
+        self.diagnostics.append(diag)
+
+    def sorted_diagnostics(self):
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                _SEVERITY_RANK.get(d.severity, 9),
+                d.code,
+                d.var or "",
+                [(
+                    loc.func,
+                    loc.line,
+                ) for loc in d.locations],
+            ),
+        )
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    # -- rendering -------------------------------------------------------
+
+    def to_text(self):
+        lines = ["static analysis: %s" % self.program_name, ""]
+        lines.append("shared variables:")
+        if self.variables:
+            width = max(len(v) for v in self.variables)
+            for var in sorted(self.variables):
+                is_shared, reason = self.variables[var]
+                tag = "shared      " if is_shared else "thread-local"
+                locks = self.consistent_locks.get(var) or ()
+                lock_note = (
+                    "  (always under %s)" % ", ".join(sorted(locks)) if locks else ""
+                )
+                lines.append(
+                    "  %-*s  %s  %s%s" % (width, var, tag, reason, lock_note)
+                )
+        else:
+            lines.append("  (no data globals)")
+        lines.append("")
+        problems = [d for d in self.sorted_diagnostics() if d.severity != INFO]
+        lines.append("diagnostics:")
+        if problems:
+            for diag in problems:
+                lines.append("  " + diag.render())
+        else:
+            lines.append("  no races or lock-order cycles found")
+        lines.append("")
+        lines.append(
+            "summary: %d error(s), %d warning(s); %d racy variable(s), "
+            "%d lock-order cycle(s)"
+            % (
+                len(self.errors()),
+                len(self.warnings()),
+                len(self.racy_vars),
+                len(self.lock_cycles),
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self):
+        payload = {
+            "program": self.program_name,
+            "variables": {
+                var: {
+                    "shared": is_shared,
+                    "reason": reason,
+                    "consistent_locks": sorted(self.consistent_locks.get(var) or ()),
+                }
+                for var, (is_shared, reason) in sorted(self.variables.items())
+            },
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "racy_variables": sorted(self.racy_vars),
+                "lock_cycles": [list(c) for c in self.lock_cycles],
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,106 @@
+"""Lock-order graph and static deadlock-cycle detection.
+
+Classic acquires-while-holding analysis: using the **may**-mode lockset
+results (over-approximating held locks only adds edges, never hides
+one), every ``LOCK m`` instruction reached while ``h`` may be held
+contributes an edge ``h -> m`` witnessed by its source position.  A
+cycle in that graph is a potential ABBA deadlock: two threads can each
+hold one lock of the cycle while requesting the next.
+
+Self-edges (re-acquiring a lock already held) are reported too —
+MiniLang mutexes are not reentrant, so ``lock(m); lock(m)`` is a
+guaranteed self-deadlock, the strongest diagnostic this pass emits.
+"""
+
+from dataclasses import dataclass
+
+from repro.minilang import bytecode as bc
+from repro.analysis.static_race.locksets import MAY, compute_locksets
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``held`` is (may be) held while ``acquired`` is being acquired."""
+
+    held: str
+    acquired: str
+    func: str
+    line: int
+
+
+@dataclass
+class LockOrderReport:
+    edges: list  # all LockEdge, stable order
+    cycles: list  # each: list of mutex names [m0, m1, ..] with m_i -> m_{i+1} -> .. -> m0
+    self_deadlocks: list  # LockEdge with held == acquired
+
+    def witness_edges(self, cycle):
+        """One witnessing LockEdge per arc of ``cycle`` (first occurrence)."""
+        arcs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        witnesses = []
+        for held, acquired in arcs:
+            for edge in self.edges:
+                if edge.held == held and edge.acquired == acquired:
+                    witnesses.append(edge)
+                    break
+        return witnesses
+
+
+def analyze_lock_order(program, locksets=None):
+    """Build the lock-order graph and find its elementary cycles."""
+    if locksets is None or locksets.mode != MAY:
+        locksets = compute_locksets(program, mode=MAY)
+    edges = []
+    seen = set()
+    for name in sorted(program.functions):
+        func = program.functions[name]
+        for block in func.blocks:
+            for idx, instr in enumerate(block.instrs):
+                if instr.op != bc.LOCK:
+                    continue
+                held_set = locksets.held_before((name, block.id, idx))
+                for held in sorted(held_set):
+                    key = (held, instr.arg, name, instr.line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    edges.append(
+                        LockEdge(
+                            held=held, acquired=instr.arg, func=name, line=instr.line
+                        )
+                    )
+    graph = {}
+    for edge in edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+    cycles = _simple_cycles(graph)
+    return LockOrderReport(
+        edges=edges,
+        cycles=cycles,
+        self_deadlocks=[e for e in edges if e.held == e.acquired],
+    )
+
+
+def _simple_cycles(graph):
+    """Elementary cycles (length >= 2), each rotated to start at its
+    smallest node and reported once.  Graphs here have a handful of
+    mutexes, so a DFS enumeration is plenty."""
+    cycles = set()
+    nodes = sorted(set(graph) | {m for succ in graph.values() for m in succ})
+
+    def dfs(start, node, path, on_path):
+        for nxt in sorted(graph.get(node, ())):
+            if nxt == start and len(path) >= 2:
+                lo = path.index(min(path))
+                cycles.add(tuple(path[lo:] + path[:lo]))
+            elif nxt not in on_path and nxt > start:
+                # Only extend with nodes > start: every cycle is found
+                # exactly once, from its smallest member.
+                path.append(nxt)
+                on_path.add(nxt)
+                dfs(start, nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    for start in nodes:
+        dfs(start, start, [start], {start})
+    return [list(c) for c in sorted(cycles)]

@@ -1,0 +1,375 @@
+"""May-happen-in-parallel (MHP) analysis from spawn/join structure.
+
+The escape pass already knows the *thread roots* (``main`` plus every
+spawn target) and whether a root may run as multiple thread instances.
+MHP refines that with a per-function *spawn liveness* dataflow: at each
+program point of a spawning function, which spawn sites are possibly
+started and not definitely joined.  That is what lets accesses in
+``main`` before the first ``spawn`` (initialisation) and after the last
+``join`` (result collection) be proven sequential — the classic fork/join
+pattern every benchmark uses.
+
+The dataflow is a small abstract interpretation of the operand stack:
+
+* ``SPAWN`` pushes the singleton set {site} and marks the site may-started;
+* ``STORE_LOCAL``/``LOAD_LOCAL`` move handle sets through locals;
+* ``JOIN`` pops a handle set — if it is a singleton whose spawn site is
+  not inside a CFG cycle, the site becomes definitely-joined (a looping
+  spawn site may have live instances besides the joined one, so it never
+  strong-updates);
+* everything else pushes/pops unknown (empty-set) values.
+
+At merge points may-started unions, definitely-joined intersects, and
+handle sets union — each in the conservative direction, so liveness is
+over-approximated and MHP answers "yes" whenever in doubt.
+
+Calls propagate in both directions: a callee inherits the liveness at
+its call sites (threads live across the call are live inside it), and a
+callee's *escaping* spawns (started, never joined before returning)
+flow back into the caller's live set.
+"""
+
+from dataclasses import dataclass
+
+from repro.minilang import bytecode as bc
+from repro.analysis.escape import _blocks_in_cycles, thread_roots
+from repro.analysis.static_race.sites import call_closure
+
+_EMPTY = frozenset()
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    func: str
+    block: int
+    index: int
+    target: str
+    in_cycle: bool
+
+
+class MHPInfo:
+    """Answers ``may_happen_in_parallel(site_a, site_b)`` for access sites.
+
+    ``roots``: {root function: multiplicity} from the escape pass.
+    ``reach``: {root: set of functions reachable through calls}.
+    ``live_at``: {(func, block, index): frozenset of live SpawnSites}.
+    ``ctx_live``: {func: frozenset of SpawnSites live across some call
+    chain reaching the function}.
+    ``colive``: unordered root-name pairs observed simultaneously live.
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.roots = thread_roots(program)
+        self.reach = {
+            root: call_closure(program, root)
+            for root in self.roots
+            if root in program.functions
+        }
+        self._spawn_sites = _find_spawn_sites(program)
+        self.live_at = {}
+        self._escaped = {}  # func -> frozenset of SpawnSites escaping it
+        self._solve_liveness()
+        self.ctx_live = self._propagate_context()
+        self.colive = self._collect_colive()
+
+    # -- queries ---------------------------------------------------------
+
+    def roots_of(self, func):
+        """Thread roots whose threads may execute ``func``."""
+        return sorted(r for r, funcs in self.reach.items() if func in funcs)
+
+    def live_targets(self, point, func):
+        """Root names possibly running in parallel while ``func`` sits at
+        ``point`` (spawned by this function or by a caller, not joined)."""
+        live = set(self.live_at.get(point, _EMPTY))
+        live |= self.ctx_live.get(func, _EMPTY)
+        return {site.target for site in live}
+
+    def self_parallel(self, root):
+        """Can two instances of ``root``'s thread run simultaneously?"""
+        return self.roots.get(root, 0) >= 2 or (root, root) in self.colive
+
+    def may_happen_in_parallel(self, site_a, site_b):
+        """Conservative MHP over two access sites (or any objects with
+        ``.func`` and ``.point``)."""
+        roots_a = self.roots_of(site_a.func)
+        roots_b = self.roots_of(site_b.func)
+        if not roots_a or not roots_b:
+            return False  # dead code cannot race
+        for ra in roots_a:
+            for rb in roots_b:
+                if ra == rb:
+                    if self.self_parallel(ra):
+                        return True
+                    continue  # one single thread: program-ordered
+                pair = (ra, rb) if ra < rb else (rb, ra)
+                if pair in self.colive:
+                    return True
+                if rb in self.live_targets(site_a.point, site_a.func):
+                    return True
+                if ra in self.live_targets(site_b.point, site_b.func):
+                    return True
+        return False
+
+    # -- liveness dataflow ----------------------------------------------
+
+    def _solve_liveness(self):
+        # Escaping-spawn summaries feed call transfer, so iterate the
+        # whole program until they stabilise (spawn-in-callee patterns).
+        for _ in range(len(self.program.functions) + 4):
+            changed = False
+            for name in sorted(self.program.functions):
+                escaped = _FunctionLiveness(self, name).run()
+                if self._escaped.get(name) != escaped:
+                    self._escaped[name] = escaped
+                    changed = True
+            if not changed:
+                return
+
+    def _propagate_context(self):
+        """Liveness inherited from callers: threads live at a call site
+        are live throughout the callee."""
+        ctx = {name: set() for name in self.program.functions}
+        for _ in range(len(self.program.functions) + 4):
+            changed = False
+            for name in sorted(self.program.functions):
+                func = self.program.functions[name]
+                for block in func.blocks:
+                    for idx, instr in enumerate(block.instrs):
+                        if instr.op != bc.CALL:
+                            continue
+                        callee = instr.arg
+                        if callee not in ctx:
+                            continue
+                        incoming = set(
+                            self.live_at.get((name, block.id, idx), _EMPTY)
+                        )
+                        incoming |= ctx[name]
+                        if not incoming <= ctx[callee]:
+                            ctx[callee] |= incoming
+                            changed = True
+            if not changed:
+                break
+        return {name: frozenset(live) for name, live in ctx.items()}
+
+    def _collect_colive(self):
+        """Unordered root pairs that are simultaneously live somewhere.
+
+        Two *distinct* live spawn sites witness their targets running in
+        parallel; one site with multiple instances witnesses its target
+        parallel with itself (escape's multiplicity covers that too, via
+        :meth:`self_parallel`).
+        """
+        pairs = set()
+        for live in self.live_at.values():
+            sites = sorted(live, key=lambda s: (s.func, s.block, s.index))
+            for i, sa in enumerate(sites):
+                if sa.in_cycle:
+                    pairs.add((sa.target, sa.target))
+                for sb in sites[i + 1 :]:
+                    lo, hi = sorted((sa.target, sb.target))
+                    pairs.add((lo, hi))
+        return pairs
+
+
+def _find_spawn_sites(program):
+    sites = {}
+    for name, func in program.functions.items():
+        cycles = _blocks_in_cycles(func)
+        for block in func.blocks:
+            for idx, instr in enumerate(block.instrs):
+                if instr.op == bc.SPAWN:
+                    sites[(name, block.id, idx)] = SpawnSite(
+                        func=name,
+                        block=block.id,
+                        index=idx,
+                        target=instr.arg,
+                        in_cycle=block.id in cycles,
+                    )
+    return sites
+
+
+class _FunctionLiveness:
+    """One function's spawn-liveness fixpoint.
+
+    Publishes per-point live sets into ``info.live_at`` and returns the
+    set of spawn sites escaping through any RET (started, not joined).
+    """
+
+    def __init__(self, info, name):
+        self.info = info
+        self.name = name
+        self.func = info.program.functions[name]
+
+    def run(self):
+        entry = _State(may=_EMPTY, joined=_EMPTY, locals={}, stack=())
+        in_states = {0: entry}
+        worklist = [0]
+        escaped = None
+        while worklist:
+            block_id = worklist.pop()
+            block = self.func.blocks[block_id]
+            state = in_states[block_id]
+            for idx, instr in enumerate(block.instrs):
+                point = (self.name, block_id, idx)
+                self.info.live_at[point] = self._live(state)
+                state = self._transfer(state, instr, point)
+                if instr.op == bc.RET:
+                    live = self._live(state)
+                    escaped = live if escaped is None else (escaped | live)
+            for succ in block.successors():
+                prev = in_states.get(succ)
+                merged = state if prev is None else prev.merge(state)
+                if merged != prev:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+        return escaped if escaped is not None else _EMPTY
+
+    def _live(self, state):
+        return frozenset(
+            self.info._spawn_sites[p]
+            for p in state.may - state.joined
+            if p in self.info._spawn_sites
+        ) | frozenset(
+            site for site in state.foreign if site is not None
+        )
+
+    def _transfer(self, state, instr, point):
+        op = instr.op
+        if op == bc.SPAWN:
+            nargs = instr.arg2 or 0
+            stack = state.stack[: len(state.stack) - nargs] if nargs else state.stack
+            return state.replace(
+                may=state.may | {point},
+                joined=state.joined - {point},
+                stack=stack + (frozenset({point}),),
+            )
+        if op == bc.JOIN:
+            handles, stack = state.pop()
+            joined = state.joined
+            if len(handles) == 1:
+                (site_point,) = handles
+                site = self.info._spawn_sites.get(site_point)
+                if site is not None and not site.in_cycle:
+                    joined = joined | {site_point}
+            return state.replace(joined=joined, stack=stack)
+        if op == bc.STORE_LOCAL:
+            handles, stack = state.pop()
+            new_locals = dict(state.locals)
+            if handles:
+                new_locals[instr.arg] = handles
+            else:
+                new_locals.pop(instr.arg, None)
+            return state.replace(locals=new_locals, stack=stack)
+        if op == bc.LOAD_LOCAL:
+            return state.replace(
+                stack=state.stack + (state.locals.get(instr.arg, _EMPTY),)
+            )
+        if op == bc.CALL:
+            nargs = instr.arg2 or 0
+            stack = state.stack[: len(state.stack) - nargs] if nargs else state.stack
+            foreign = state.foreign | self.info._escaped.get(instr.arg, _EMPTY)
+            return state.replace(stack=stack + (_EMPTY,), foreign=foreign)
+        # Generic stack effects; handle sets never survive arithmetic.
+        pushes, pops = _stack_effect(instr)
+        stack = state.stack
+        if pops:
+            stack = stack[: max(0, len(stack) - pops)]
+        if pushes:
+            stack = stack + (_EMPTY,) * pushes
+        if stack is state.stack:
+            return state
+        return state.replace(stack=stack)
+
+
+def _stack_effect(instr):
+    """(pushes, pops) for ops without handle-relevant semantics."""
+    op = instr.op
+    if op in (bc.CONST, bc.LOAD_GLOBAL):
+        return 1, 0
+    if op == bc.LOAD_ELEM:
+        return 1, 1
+    if op in (bc.STORE_GLOBAL, bc.POP, bc.ASSERT, bc.ASSUME):
+        return 0, 1
+    if op == bc.STORE_ELEM:
+        return 0, 2
+    if op == bc.BINOP:
+        return 1, 2
+    if op == bc.UNOP:
+        return 1, 1
+    if op == bc.BRANCH:
+        return 0, 1
+    if op == bc.PRINT:
+        return 0, instr.arg or 0
+    return 0, 0
+
+
+class _State:
+    """Immutable-ish dataflow state for one program point."""
+
+    __slots__ = ("may", "joined", "locals", "stack", "foreign")
+
+    def __init__(self, may, joined, locals, stack, foreign=_EMPTY):
+        self.may = may
+        self.joined = joined
+        self.locals = locals
+        self.stack = stack
+        self.foreign = foreign  # SpawnSites escaped from callees
+
+    def replace(self, **kwargs):
+        fields = {
+            "may": self.may,
+            "joined": self.joined,
+            "locals": self.locals,
+            "stack": self.stack,
+            "foreign": self.foreign,
+        }
+        fields.update(kwargs)
+        return _State(**fields)
+
+    def pop(self):
+        if not self.stack:
+            return _EMPTY, self.stack
+        return self.stack[-1], self.stack[:-1]
+
+    def merge(self, other):
+        locals_merged = {}
+        for key in set(self.locals) | set(other.locals):
+            merged = self.locals.get(key, _EMPTY) | other.locals.get(key, _EMPTY)
+            if merged:
+                locals_merged[key] = merged
+        # Stacks should agree in depth at block boundaries; if they do not
+        # (unusual codegen), align from the bottom and pad with unknowns.
+        depth = max(len(self.stack), len(other.stack))
+        stack = tuple(
+            (self.stack[i] if i < len(self.stack) else _EMPTY)
+            | (other.stack[i] if i < len(other.stack) else _EMPTY)
+            for i in range(depth)
+        )
+        return _State(
+            may=self.may | other.may,
+            joined=self.joined & other.joined,
+            locals=locals_merged,
+            stack=stack,
+            foreign=self.foreign | other.foreign,
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, _State):
+            return NotImplemented
+        return (
+            self.may == other.may
+            and self.joined == other.joined
+            and self.locals == other.locals
+            and self.stack == other.stack
+            and self.foreign == other.foreign
+        )
+
+    def __ne__(self, other):
+        return not self == other
+
+
+def compute_mhp(program):
+    """Build the MHP oracle for one compiled program."""
+    return MHPInfo(program)

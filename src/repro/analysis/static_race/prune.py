@@ -1,0 +1,53 @@
+"""Static results packaged for the constraint encoder.
+
+The encoder never sees CFGs — it sees recorded SAPs.  The bridge is the
+``(var, line, kind)`` key: ``SymSAP.line`` and ``AccessSite.line`` both
+come from the originating ``Instr.line``, so a dynamic SAP maps back to
+the static site(s) it executed.  :class:`StaticPruneInfo` carries the
+proven-race-free pair verdicts under that key, plus the per-variable
+consistent-lock sets used by the critical-section pruning rules.
+
+Conservatism: a SAP whose key is missing from ``known_keys`` (e.g. a
+runtime-synthesised access) matches nothing and is never pruned.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.static_race.races import RACY, analyze_races
+
+
+@dataclass
+class StaticPruneInfo:
+    """What ``constraints.prune.RWPruner`` needs from the static passes."""
+
+    # (key_lo, key_hi) -> verdict string, keys are (var, line, kind),
+    # only for pairs proven race-free (verdict != 'racy').
+    race_free_pairs: dict = field(default_factory=dict)
+    # var -> frozenset of mutexes held at every static access of var
+    # (non-empty => the variable is consistently protected).
+    consistent_locks: dict = field(default_factory=dict)
+    # every (var, line, kind) key that static analysis knows about.
+    known_keys: set = field(default_factory=set)
+
+    def race_free(self, key_a, key_b):
+        """Is the site pair proven race-free?  Unknown keys => False."""
+        if key_a not in self.known_keys or key_b not in self.known_keys:
+            return False
+        pair = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        return pair in self.race_free_pairs
+
+    def protecting_locks(self, var):
+        return self.consistent_locks.get(var, frozenset())
+
+
+def compute_prune_info(program, races=None):
+    """Distil :func:`analyze_races` output into a :class:`StaticPruneInfo`."""
+    if races is None:
+        races = analyze_races(program)
+    info = StaticPruneInfo()
+    info.known_keys = {site.key for site in races.sites}
+    info.consistent_locks = dict(races.consistent_locks)
+    for pair, verdict in races.pair_verdicts.items():
+        if verdict != RACY:
+            info.race_free_pairs[pair] = verdict
+    return info

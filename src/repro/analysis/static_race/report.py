@@ -1,0 +1,94 @@
+"""Assemble the user-facing :class:`StaticReport` for one program."""
+
+from repro.runtime import events as ev
+from repro.analysis.static_race.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    Location,
+    StaticReport,
+)
+from repro.analysis.static_race.lockorder import analyze_lock_order
+from repro.analysis.static_race.races import analyze_races
+
+
+def analyze_program(program, name="<program>"):
+    """Run every static pass and fold the results into one report."""
+    races = analyze_races(program)
+    lock_order = analyze_lock_order(program)
+
+    report = StaticReport(
+        program_name=name,
+        variables=races.classification,
+        consistent_locks=races.consistent_locks,
+        racy_vars=set(races.racy_vars),
+        lock_cycles=[list(c) for c in lock_order.cycles],
+    )
+
+    for var, (is_shared, reason) in sorted(races.classification.items()):
+        report.add(
+            Diagnostic(
+                code="SR201" if is_shared else "SR202",
+                severity=INFO,
+                message="%r is %s: %s"
+                % (var, "shared" if is_shared else "thread-local", reason),
+                var=var,
+            )
+        )
+
+    seen_pairs = set()
+    for pair in races.race_pairs:
+        locs = tuple(
+            sorted(
+                {
+                    Location(pair.a.func, pair.a.line),
+                    Location(pair.b.func, pair.b.line),
+                },
+                key=lambda loc: (loc.func, loc.line),
+            )
+        )
+        ww = pair.is_write_write
+        dedup = (pair.var, ww, locs)
+        if dedup in seen_pairs:
+            continue
+        seen_pairs.add(dedup)
+        kinds = "%s/%s" % tuple(sorted((pair.a.kind, pair.b.kind), reverse=True))
+        report.add(
+            Diagnostic(
+                code="SR001" if ww else "SR002",
+                severity=ERROR,
+                message="data race on %r (%s): concurrent accesses with no "
+                "common lock" % (pair.var, kinds),
+                var=pair.var,
+                locations=locs,
+            )
+        )
+
+    for edge in lock_order.self_deadlocks:
+        report.add(
+            Diagnostic(
+                code="SR102",
+                severity=ERROR,
+                message="self-deadlock: %r acquired while already held"
+                % edge.acquired,
+                var=edge.acquired,
+                locations=(Location(edge.func, edge.line),),
+            )
+        )
+
+    for cycle in lock_order.cycles:
+        witnesses = lock_order.witness_edges(cycle)
+        locs = tuple(Location(e.func, e.line) for e in witnesses)
+        report.add(
+            Diagnostic(
+                code="SR101",
+                severity=WARNING,
+                message="lock-order cycle %s: opposite acquisition orders can "
+                "deadlock" % " -> ".join(cycle + [cycle[0]]),
+                var=cycle[0],
+                locations=locs,
+            )
+        )
+
+    return report

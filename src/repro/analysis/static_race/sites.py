@@ -1,0 +1,113 @@
+"""Access-site extraction from compiled MiniLang CFGs.
+
+A *site* is one bytecode instruction that touches a global data variable
+(read or write) — the static counterpart of a dynamic SAP.  Sites are
+identified by their CFG position ``(func, block, index)`` and carry the
+``(var, line, kind)`` key used to match recorded SAPs back to them
+(``SymSAP.line`` comes from the same ``Instr.line``, so the mapping is
+exact by construction).
+"""
+
+from dataclasses import dataclass
+
+from repro.minilang import bytecode as bc
+from repro.runtime import events as ev
+
+_READ_OPS = bc.GLOBAL_READS
+_WRITE_OPS = bc.GLOBAL_WRITES
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static global-access site."""
+
+    func: str
+    block: int
+    index: int  # instruction index within the block
+    var: str
+    kind: str  # events.READ or events.WRITE
+    line: int
+    is_array: bool = False
+
+    @property
+    def point(self):
+        """The program point *before* this instruction executes."""
+        return (self.func, self.block, self.index)
+
+    @property
+    def key(self):
+        """The (var, line, kind) key shared with dynamic SAPs."""
+        return (self.var, self.line, self.kind)
+
+    @property
+    def is_write(self):
+        return self.kind == ev.WRITE
+
+    def describe(self):
+        return "%s of %r at %s:%d" % (self.kind, self.var, self.func, self.line)
+
+
+def collect_access_sites(program):
+    """All global data-access sites, in a stable (func, block, index) order.
+
+    Sync globals (mutexes/condvars) are excluded: their ordering is the
+    business of Fso, not of race detection.
+    """
+    sites = []
+    symbols = program.symbols.globals
+    for name in sorted(program.functions):
+        func = program.functions[name]
+        for block in func.blocks:
+            for idx, instr in enumerate(block.instrs):
+                if instr.op in _READ_OPS:
+                    kind = ev.READ
+                elif instr.op in _WRITE_OPS:
+                    kind = ev.WRITE
+                else:
+                    continue
+                info = symbols.get(instr.arg)
+                if info is None or not info.is_data:
+                    continue
+                sites.append(
+                    AccessSite(
+                        func=name,
+                        block=block.id,
+                        index=idx,
+                        var=instr.arg,
+                        kind=kind,
+                        line=instr.line,
+                        is_array=instr.op in (bc.LOAD_ELEM, bc.STORE_ELEM),
+                    )
+                )
+    return sites
+
+
+def sites_by_var(sites):
+    """Group sites by the accessed variable name."""
+    grouped = {}
+    for site in sites:
+        grouped.setdefault(site.var, []).append(site)
+    return grouped
+
+
+def direct_callees(func):
+    """Function names ``func`` calls directly (spawns are not calls)."""
+    callees = set()
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.op == bc.CALL:
+                callees.add(instr.arg)
+    return callees
+
+
+def call_closure(program, root):
+    """All functions reachable from ``root`` through CALL edges (inclusive)."""
+    seen = set()
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in program.functions:
+            continue
+        seen.add(name)
+        stack.extend(direct_callees(program.functions[name]))
+    return seen

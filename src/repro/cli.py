@@ -5,6 +5,7 @@ Commands
 run        Execute a MiniLang program once under a seeded scheduler.
 record     Search seeds for a failing run and dump the CLAP path logs.
 reproduce  Full pipeline: record, solve, replay; prints the schedule.
+analyze    Static analysis: shared variables, races, lock-order cycles.
 disasm     Show the compiled bytecode of every function.
 trace      Decode and print a thread-local path log against its program.
 bench      Regenerate a table of the paper's evaluation (1, 2 or 3).
@@ -90,6 +91,7 @@ def cmd_reproduce(args):
         stickiness=args.stickiness,
         flush_prob=args.flush_prob,
         workers=args.workers,
+        static_prune=args.static_prune,
     )
     report = ClapPipeline(program, config).reproduce()
     print("failure      :", report.bug)
@@ -98,6 +100,11 @@ def cmd_reproduce(args):
     print("SAPs         :", report.n_saps)
     print("constraints  :", report.n_constraints)
     print("variables    :", report.n_variables)
+    if args.static_prune:
+        print(
+            "pruned       : %d choice vars, %d clauses (static analysis)"
+            % (report.n_pruned_choice_vars, report.n_pruned_clauses)
+        )
     print("solve time   : %.2fs (%s)" % (report.time_solve, report.solver))
     print("context sw.  :", report.context_switches)
     if report.schedule:
@@ -105,6 +112,20 @@ def cmd_reproduce(args):
         print("  " + " -> ".join("%s#%d" % uid for uid in report.schedule))
     if not report.reproduced:
         print("FAILED:", report.failure_reason)
+        return 1
+    return 0
+
+
+def cmd_analyze(args):
+    from repro.analysis.static_race import analyze_program
+
+    program = _load_program(args.program)
+    report = analyze_program(program, name=args.program)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    if args.fail_on_race and report.errors():
         return 1
     return 0
 
@@ -206,7 +227,24 @@ def build_parser():
     p.add_argument("--solver", default="smt", choices=["smt", "genval"])
     p.add_argument("--max-seeds", type=int, default=500)
     p.add_argument("--workers", type=int, default=0)
+    p.add_argument(
+        "--static-prune",
+        action="store_true",
+        help="prune Frw with the static race analysis (repro analyze passes)",
+    )
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "analyze", help="static race/deadlock analysis of a program"
+    )
+    p.add_argument("program", help="MiniLang source file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--fail-on-race",
+        action="store_true",
+        help="exit 1 when any error-severity diagnostic is reported",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("disasm", help="dump compiled bytecode")
     p.add_argument("program")

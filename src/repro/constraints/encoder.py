@@ -2,6 +2,7 @@
 
 from repro.constraints.memory_order import encode_memory_order
 from repro.constraints.model import ConstraintSystem
+from repro.constraints.prune import RWPruner
 from repro.constraints.rw import encode_read_write
 from repro.constraints.sync_order import encode_sync_order
 
@@ -10,7 +11,15 @@ class EncodingError(Exception):
     pass
 
 
-def encode(summaries, memory_model, symbols, shared, preexisting=frozenset(), preexited=frozenset()):
+def encode(
+    summaries,
+    memory_model,
+    symbols,
+    shared,
+    preexisting=frozenset(),
+    preexited=frozenset(),
+    prune=None,
+):
     """Encode one recorded execution into a :class:`ConstraintSystem`.
 
     Parameters
@@ -26,6 +35,10 @@ def encode(summaries, memory_model, symbols, shared, preexisting=frozenset(), pr
         checkpoint, when encoding a checkpointed suffix (the initial
         values should then come from the snapshot — the caller overwrites
         ``system.initial_values`` accordingly).
+    prune : StaticPruneInfo, optional
+        Proven-race-free site pairs from ``analysis.static_race``; when
+        given, Frw drops candidates/clauses those proofs (together with
+        the hard-edge must-order) show impossible, equisatisfiably.
     """
     system = ConstraintSystem(
         memory_model=memory_model,
@@ -69,10 +82,17 @@ def encode(summaries, memory_model, symbols, shared, preexisting=frozenset(), pr
     system.at_most_one.extend(so_amo)
     system.sw_candidates = sw_candidates
 
-    # Frw.
-    rw_clauses, rw_eo, rf_candidates = encode_read_write(summaries)
+    # Frw — optionally pruned using the static race analysis plus the
+    # hard-edge must-order accumulated above (Fmo and Fso must be encoded
+    # first; the pruner's soundness argument depends on it).
+    pruner = None
+    if prune is not None:
+        pruner = RWPruner(summaries, system.hard_edges, prune)
+    rw_clauses, rw_eo, rf_candidates = encode_read_write(summaries, pruner=pruner)
     system.clauses.extend(rw_clauses)
     system.exactly_one.extend(rw_eo)
     system.rf_candidates = rf_candidates
+    if pruner is not None:
+        system.prune_stats = pruner.stats
 
     return system

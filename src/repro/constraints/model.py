@@ -127,6 +127,8 @@ class ConstraintSystem:
     # and threads that already exited (joins on them are pre-satisfied).
     preexisting: frozenset = frozenset()
     preexited: frozenset = frozenset()
+    # PruneStats from constraints.prune when static pruning was applied.
+    prune_stats: object = None
 
     # -- convenience -----------------------------------------------------
 

@@ -1,0 +1,297 @@
+"""Static-analysis-driven Frw pruning (off by default, ``--static-prune``).
+
+Every rule here removes only reads-from candidates (or clauses) that are
+*false in every model* of the remaining system, so the pruned encoding is
+equisatisfiable with the full one and yields the same schedules — the
+property test in ``tests/test_properties.py`` checks exactly that.
+
+Two sources of "false in every model":
+
+**Must-order** — the transitive closure of the system's hard edges
+(Fmo per-model program order plus Fso's fork/start/exit/join edges).
+A hard edge holds in every model by construction, so:
+
+* R1: ``rf(r <- w)`` is impossible when ``must(r -> w)`` (a read cannot
+  return a write that is forced after it);
+* R2: ``w`` is *shadowed* when some other candidate ``w'`` satisfies
+  ``must(w -> w') ∧ must(w' -> r)`` — ``w'`` always sits in between, so
+  the rf-nomid clause for ``w`` can never hold;
+* R3: the INIT option is impossible when some candidate satisfies
+  ``must(w -> r)`` (a write always precedes the read).
+
+**Critical sections** — for a variable the static lockset pass proved
+*consistently protected* by mutex ``m`` (every static access site holds
+``m``), Fso's region-exclusion clauses order whole critical sections
+atomically, hence in every model:
+
+* R4: a read with a same-thread earlier write ``w0`` in its *own*
+  dynamic region of ``m`` must read (its region's latest) ``w0`` —
+  any other thread's candidate sits in a region wholly before the
+  read's region (then ``w0`` is in between) or wholly after (then it
+  follows the read);
+* R5: an other-thread candidate ``w`` that is *not* the last write to
+  the address in its own region cannot be read outside that region —
+  its region-successor write is always in between.
+
+The must-order rules additionally require the static analyzer to have
+proven the (read, write) site pair race-free — strictly a restriction
+(the prunes are logically valid regardless), but it keeps every pruned
+pair inside the statically-certified set, which is the contract the
+encoder advertises.  Same-thread pairs are trivially race-free (program
+order), and SAPs whose ``(var, line, kind)`` key the analyzer never saw
+are never pruned.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.runtime import events as ev
+
+
+@dataclass
+class PruneStats:
+    """Counters surfaced through ``constraints.stats.ConstraintStats``."""
+
+    candidates_pruned: int = 0  # write candidates removed (R1/R2/R4/R5)
+    init_pruned: int = 0  # INIT options removed (R3/R4)
+    forced_reads: int = 0  # reads pinned to a single source (R4)
+    clauses_pruned: int = 0  # rf clauses skipped as hard-edge implied
+    pairs_considered: int = 0  # (read, candidate) pairs examined
+
+    @property
+    def choice_vars_pruned(self):
+        """Reduction in n_choice_vars vs. the unpruned encoding."""
+        return self.candidates_pruned + self.init_pruned
+
+
+class RWPruner:
+    """Decides, per read, which rf candidates survive.
+
+    ``hard_edges`` is the system's accumulated list of
+    :class:`~repro.constraints.model.OLt` facts — Fmo and Fso hard parts
+    must already be encoded when the pruner is built (the encoder
+    guarantees the ordering).
+    """
+
+    def __init__(self, summaries, hard_edges, static_info):
+        self.static_info = static_info
+        self.stats = PruneStats()
+        self._descendants = _must_order_closure(hard_edges)
+        self._regions, self._region_writes = _dynamic_regions(summaries)
+
+    # -- must-order ------------------------------------------------------
+
+    def must_before(self, uid_a, uid_b):
+        desc = self._descendants.get(uid_a)
+        return desc is not None and uid_b in desc
+
+    # -- static verdicts -------------------------------------------------
+
+    @staticmethod
+    def _key(sap):
+        return (sap.addr[0], sap.line, sap.kind)
+
+    def race_free(self, sap_a, sap_b):
+        if sap_a.thread == sap_b.thread:
+            return True  # program order: never a race dynamically
+        return self.static_info.race_free(self._key(sap_a), self._key(sap_b))
+
+    def _consistent_mutexes(self, sap):
+        """Mutexes statically held at EVERY site of sap's variable, but only
+        when this SAP's own site is known to the analyzer."""
+        if self._key(sap) not in self.static_info.known_keys:
+            return frozenset()
+        return self.static_info.protecting_locks(sap.addr[0])
+
+    def _region_of(self, sap, mutex):
+        """This SAP's dynamic critical region of ``mutex`` (None if not
+        held at the time of the access)."""
+        return self._regions.get(sap.uid, {}).get(mutex)
+
+    # -- the filter ------------------------------------------------------
+
+    def filter_candidates(self, read, candidates):
+        """Return (kept_candidates, include_init, forced_candidate)."""
+        self.stats.pairs_considered += len(candidates) + 1
+
+        forced = self._region_forced_source(read, candidates)
+        if forced is not None:
+            self.stats.forced_reads += 1
+            self.stats.candidates_pruned += sum(
+                1 for w in candidates if w.uid != forced.uid
+            )
+            self.stats.init_pruned += 1
+            return [forced], False, forced
+
+        kept = []
+        for w in candidates:
+            if self.race_free(read, w) and self._candidate_impossible(
+                read, w, candidates
+            ):
+                self.stats.candidates_pruned += 1
+            else:
+                kept.append(w)
+
+        include_init = True
+        if any(
+            self.must_before(w.uid, read.uid) and self.race_free(read, w)
+            for w in kept
+        ):
+            include_init = False  # R3: some write always precedes the read
+            self.stats.init_pruned += 1
+        if not kept and not include_init:
+            include_init = True  # defensive: never leave a read sourceless
+            self.stats.init_pruned -= 1
+        return kept, include_init, None
+
+    def _candidate_impossible(self, read, w, candidates):
+        if self.must_before(read.uid, w.uid):
+            return True  # R1
+        for other in candidates:
+            if other is w:
+                continue
+            if self.must_before(w.uid, other.uid) and self.must_before(
+                other.uid, read.uid
+            ):
+                return True  # R2: shadowed
+        return self._dead_region_write(read, w)
+
+    def _region_forced_source(self, read, candidates):
+        """R4: reads with a same-thread earlier write in their own critical
+        region of a consistently-protecting mutex are pinned to it."""
+        for mutex in sorted(self._consistent_mutexes(read)):
+            region = self._region_of(read, mutex)
+            if region is None:
+                continue
+            best = None
+            for w in candidates:
+                if w.thread != read.thread or w.index > read.index:
+                    continue
+                if self._region_of(w, mutex) != region:
+                    continue
+                if best is None or w.index > best.index:
+                    best = w
+            if best is None:
+                continue
+            # Every other-thread candidate must provably hold the mutex too
+            # (true whenever its site is known, since the lock consistently
+            # protects the variable) — otherwise forcing is unsound.
+            if all(
+                w.thread == read.thread
+                or mutex in self._consistent_mutexes(w)
+                for w in candidates
+            ):
+                return best
+        return None
+
+    def _dead_region_write(self, read, w):
+        """R5: an other-thread candidate shadowed inside its own region."""
+        if w.thread == read.thread:
+            return False
+        for mutex in sorted(self._consistent_mutexes(read)):
+            if self._region_of(read, mutex) is None:
+                continue
+            if mutex not in self._consistent_mutexes(w):
+                continue
+            region = self._region_of(w, mutex)
+            if region is None:
+                continue
+            later = self._region_writes.get((region, w.addr), ())
+            if any(index > w.index for index in later):
+                return True
+        return False
+
+    # -- clause-level skips (redundant, not just impossible) -------------
+
+    def nomid_clause_redundant(self, read, w, other):
+        """rf-nomid(read<-w vs other) holds in every model?"""
+        if self.must_before(other.uid, w.uid) or self.must_before(
+            read.uid, other.uid
+        ):
+            self.stats.clauses_pruned += 1
+            return True
+        return False
+
+    def before_clause_redundant(self, read, w):
+        """rf-before(read<-w) holds in every model?"""
+        if self.must_before(w.uid, read.uid):
+            self.stats.clauses_pruned += 1
+            return True
+        return False
+
+    def init_clause_redundant(self, read, w):
+        """rf-init's OLt(read, w) disjunct holds in every model?"""
+        if self.must_before(read.uid, w.uid):
+            self.stats.clauses_pruned += 1
+            return True
+        return False
+
+
+def _must_order_closure(hard_edges):
+    """{uid: set of uids provably after it} from the hard-edge DAG.
+
+    Falls back to an empty closure (no pruning) if the edges are somehow
+    cyclic — they never should be, since the recorded schedule satisfies
+    all of them, but a pruner must fail safe.
+    """
+    unique = {(edge.a, edge.b) for edge in hard_edges}
+    succs = {}
+    indegree = {}
+    for a, b in unique:
+        succs.setdefault(a, set()).add(b)
+        indegree.setdefault(a, indegree.get(a, 0))
+        indegree[b] = indegree.get(b, 0) + 1
+    nodes = set(indegree)
+    # Kahn topological order.
+    order = []
+    ready = sorted((n for n in nodes if indegree[n] == 0), reverse=True)
+    degree = dict(indegree)
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in succs.get(node, ()):
+            degree[succ] -= 1
+            if degree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(nodes):
+        return {}  # cycle: refuse to prune anything
+    descendants = {}
+    for node in reversed(order):
+        acc = set()
+        for succ in succs.get(node, ()):
+            acc.add(succ)
+            acc |= descendants.get(succ, set())
+        if acc:
+            descendants[node] = acc
+    return descendants
+
+
+def _dynamic_regions(summaries):
+    """Per-SAP held critical regions, from the recorded lock/unlock SAPs.
+
+    Returns ``(regions, region_writes)`` where ``regions`` maps a SAP uid
+    to ``{mutex: region_id}`` for each mutex held when it executed, and
+    ``region_writes`` maps ``(region_id, addr)`` to the indices of writes
+    to ``addr`` inside that region.  Region ids are unique per dynamic
+    acquisition, so two SAPs share one iff no release of the mutex
+    happened between them — ``wait`` splits regions naturally because
+    symbolic execution desugars it into unlock/wait/lock SAPs.
+    """
+    regions = {}
+    region_writes = {}
+    counter = 0
+    for thread, summary in summaries.items():
+        held = {}
+        for sap in summary.saps:
+            if sap.kind == ev.LOCK:
+                counter += 1
+                held[sap.addr] = (thread, sap.addr, counter)
+            elif sap.kind == ev.UNLOCK:
+                held.pop(sap.addr, None)
+            elif sap.kind in (ev.READ, ev.WRITE) and held:
+                regions[sap.uid] = dict(held)
+                if sap.kind == ev.WRITE:
+                    for region in held.values():
+                        region_writes.setdefault(
+                            (region, sap.addr), []
+                        ).append(sap.index)
+    return regions, region_writes

@@ -18,8 +18,14 @@ which is the paper's complexity analysis.
 from repro.constraints.model import INIT, Clause, ExactlyOne, Lit, OLt, RFChoice
 
 
-def encode_read_write(summaries):
-    """Build Frw.  Returns (clauses, exactly_one, rf_candidates)."""
+def encode_read_write(summaries, pruner=None):
+    """Build Frw.  Returns (clauses, exactly_one, rf_candidates).
+
+    ``pruner``, when given (a :class:`repro.constraints.prune.RWPruner`),
+    drops reads-from candidates and clauses the static analysis plus the
+    hard-edge must-order prove impossible or redundant; the result is
+    equisatisfiable with the unpruned encoding.
+    """
     clauses = []
     exactly_one = []
     rf_candidates = {}
@@ -41,20 +47,32 @@ def encode_read_write(summaries):
                 for w in writes
                 if not (w.thread == read.thread and w.index > read.index)
             ]
-            sources = [w.uid for w in candidates] + [INIT]
+            include_init = True
+            if pruner is not None:
+                candidates, include_init, _forced = pruner.filter_candidates(
+                    read, candidates
+                )
+            sources = [w.uid for w in candidates]
+            if include_init:
+                sources.append(INIT)
             rf_candidates[read.uid] = sources
             lits = []
             for w in candidates:
                 choice = RFChoice(read.uid, w.uid)
                 lits.append(Lit(choice))
-                clauses.append(
-                    Clause(
-                        [Lit(choice, False), Lit(OLt(w.uid, read.uid))],
-                        origin="rf-before",
+                if pruner is None or not pruner.before_clause_redundant(read, w):
+                    clauses.append(
+                        Clause(
+                            [Lit(choice, False), Lit(OLt(w.uid, read.uid))],
+                            origin="rf-before",
+                        )
                     )
-                )
                 for other in candidates:
                     if other is w:
+                        continue
+                    if pruner is not None and pruner.nomid_clause_redundant(
+                        read, w, other
+                    ):
                         continue
                     clauses.append(
                         Clause(
@@ -66,14 +84,19 @@ def encode_read_write(summaries):
                             origin="rf-nomid",
                         )
                     )
-            init_choice = RFChoice(read.uid, INIT)
-            lits.append(Lit(init_choice))
-            for w in candidates:
-                clauses.append(
-                    Clause(
-                        [Lit(init_choice, False), Lit(OLt(read.uid, w.uid))],
-                        origin="rf-init",
+            if include_init:
+                init_choice = RFChoice(read.uid, INIT)
+                lits.append(Lit(init_choice))
+                for w in candidates:
+                    if pruner is not None and pruner.init_clause_redundant(
+                        read, w
+                    ):
+                        continue
+                    clauses.append(
+                        Clause(
+                            [Lit(init_choice, False), Lit(OLt(read.uid, w.uid))],
+                            origin="rf-init",
+                        )
                     )
-                )
             exactly_one.append(ExactlyOne(lits, origin="rf-one"))
     return clauses, exactly_one, rf_candidates

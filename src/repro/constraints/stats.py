@@ -17,6 +17,10 @@ class ConstraintStats:
     n_clause_lits: int = 0
     n_path_conditions: int = 0
     n_path_condition_nodes: int = 0
+    # Static-prune accounting (zero when pruning was off).
+    n_pruned_choice_vars: int = 0
+    n_pruned_clauses: int = 0
+    n_forced_reads: int = 0
 
     @property
     def n_constraints(self):
@@ -49,4 +53,9 @@ def compute_stats(system):
     stats.n_path_condition_nodes = sum(
         expr_size(c.expr) for c in system.conditions
     ) + sum(expr_size(e) for e in system.bug_exprs)
+    prune = getattr(system, "prune_stats", None)
+    if prune is not None:
+        stats.n_pruned_choice_vars = prune.choice_vars_pruned
+        stats.n_pruned_clauses = prune.clauses_pruned
+        stats.n_forced_reads = prune.forced_reads
     return stats

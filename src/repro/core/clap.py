@@ -66,6 +66,11 @@ class ClapConfig:
     genval_max_schedules_per_round: int = 200_000
     genval_max_steps_per_round: int = 4_000_000
     genval_probes_per_round: int = 48
+    # Feed the static race analysis (analysis.static_race) into the Frw
+    # encoder: candidates proven impossible for race-free site pairs are
+    # dropped.  Off by default — enable with ``repro reproduce
+    # --static-prune`` or ClapConfig(static_prune=True).
+    static_prune: bool = False
 
 
 @dataclass
@@ -101,6 +106,8 @@ class ClapReport:
     n_saps: int = 0
     n_constraints: int = 0
     n_variables: int = 0
+    n_pruned_choice_vars: int = 0
+    n_pruned_clauses: int = 0
     context_switches: int = -1
     time_record: float = 0.0
     time_symbolic: float = 0.0
@@ -122,6 +129,11 @@ class ClapPipeline:
         self.config = config or ClapConfig()
         self.shared = shared_variables(program)
         self.paths = ProgramPaths.build(program)
+        self.prune_info = None
+        if self.config.static_prune:
+            from repro.analysis.static_race import compute_prune_info
+
+            self.prune_info = compute_prune_info(program)
 
     # -- phase 1 ----------------------------------------------------------
 
@@ -178,6 +190,7 @@ class ClapPipeline:
             self.config.memory_model,
             self.program.symbols,
             self.shared,
+            prune=self.prune_info,
         )
         if self.config.pin_observed_reads and recorded.bug is not None:
             self._pin_observed_reads(system, recorded)
@@ -260,6 +273,8 @@ class ClapPipeline:
         report.n_saps = stats.n_saps
         report.n_constraints = stats.n_constraints
         report.n_variables = stats.n_variables
+        report.n_pruned_choice_vars = stats.n_pruned_choice_vars
+        report.n_pruned_clauses = stats.n_pruned_clauses
 
         t0 = time.monotonic()
         solved = self.solve(system)

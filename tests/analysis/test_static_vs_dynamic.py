@@ -1,0 +1,43 @@
+"""Static analysis must over-approximate the dynamic Eraser detector.
+
+For every benchmark program: any variable the dynamic lockset pass
+(`analysis.lockset`, Eraser-style, observing one concrete execution)
+flags as a violation must also appear in the static analyzer's racy set.
+The static side sees every path and over-approximates parallelism, so
+missing a dynamically observed race would be a soundness bug, not a
+precision tradeoff.
+"""
+
+import pytest
+
+from repro.analysis.lockset import analyze_locksets
+from repro.analysis.static_race import analyze_races
+from repro.bench.programs import BENCHMARK_NAMES, get_benchmark
+from repro.runtime.interpreter import run_program
+
+SEEDS = (0, 7, 23)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_static_racy_set_superset_of_eraser(name):
+    bench = get_benchmark(name)
+    program = bench.compile()
+    static_racy = analyze_races(program).racy_vars
+
+    dynamic_vars = set()
+    for seed in SEEDS:
+        result = run_program(
+            program,
+            bench.memory_model,
+            seed=seed,
+            stickiness=0.4,
+            flush_prob=0.2,
+        )
+        report = analyze_locksets(result.events)
+        dynamic_vars |= {addr[0] for addr in report.violations()}
+
+    missed = dynamic_vars - static_racy
+    assert not missed, (
+        "%s: Eraser saw races on %s that the static analyzer missed "
+        "(static racy set: %s)" % (name, sorted(missed), sorted(static_racy))
+    )

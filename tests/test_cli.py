@@ -89,6 +89,46 @@ def test_trace_decodes_paths(race_file, capsys):
     assert "worker: blocks" in out
 
 
+def test_analyze_text_output(race_file, capsys):
+    code = main(["analyze", race_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "shared variables:" in out
+    assert "data race on 'c'" in out
+    assert "summary:" in out
+
+
+def test_analyze_clean_program(locked_file, capsys):
+    code = main(["analyze", locked_file])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no races or lock-order cycles found" in out
+
+
+def test_analyze_json_output(race_file, capsys):
+    code = main(["analyze", race_file, "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["racy_variables"] == ["c"]
+    assert any(d["code"].startswith("SR0") for d in payload["diagnostics"])
+
+
+def test_analyze_fail_on_race_exit_code(race_file, locked_file, capsys):
+    assert main(["analyze", race_file, "--fail-on-race"]) == 1
+    capsys.readouterr()
+    assert main(["analyze", locked_file, "--fail-on-race"]) == 0
+
+
+def test_reproduce_with_static_prune(race_file, capsys):
+    code = main(
+        ["reproduce", race_file, "--stickiness", "0.3", "--static-prune"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reproduced   : True" in out
+    assert "pruned       :" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -10,6 +10,7 @@ These target the invariants the whole system leans on:
 * ground-truth schedules of arbitrary seeded executions always replay.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.minilang import compile_source
@@ -153,3 +154,55 @@ def test_every_ground_truth_schedule_replays(seed, model):
     else:
         assert outcome.result.bug is None
         assert outcome.result.final_globals == original.final_globals
+
+
+# -- static pruning preserves the encoding's models ----------------------
+
+_PRUNE_BENCHMARKS = ["sim_race", "swarm", "pfscan", "bbuf", "aget", "figure2"]
+
+
+@pytest.mark.parametrize("name", _PRUNE_BENCHMARKS)
+def test_static_prune_preserves_satisfiability_and_reproduction(name):
+    """Property: for a seeded benchmark bug, the analyzer-pruned encoding
+    is satisfiable iff the unpruned one is, and its schedule still
+    reproduces the failure.  This is the gate behind ClapConfig's
+    ``static_prune`` flag staying sound."""
+    from repro.analysis.static_race import compute_prune_info
+    from repro.analysis.symexec import execute_recorded_paths
+    from repro.bench.programs import get_benchmark
+    from repro.constraints.encoder import encode
+    from repro.constraints.stats import compute_stats
+    from repro.core.clap import ClapConfig, ClapPipeline
+    from repro.solver.smt import solve_constraints
+    from repro.tracing.decoder import decode_log
+
+    bench = get_benchmark(name)
+    program = bench.compile()
+    config = ClapConfig(**bench.config_kwargs())
+    pipeline = ClapPipeline(program, config)
+    recorded = pipeline.record()
+    summaries = execute_recorded_paths(
+        program, decode_log(recorded.recorder), pipeline.shared, bug=recorded.bug
+    )
+
+    base = encode(
+        summaries, config.memory_model, program.symbols, pipeline.shared
+    )
+    pruned = encode(
+        summaries,
+        config.memory_model,
+        program.symbols,
+        pipeline.shared,
+        prune=compute_prune_info(program),
+    )
+
+    r_base = solve_constraints(base)
+    r_pruned = solve_constraints(pruned)
+    assert r_base.ok == r_pruned.ok
+    assert r_base.ok, name  # recorded bugs are always reproducible
+
+    stats = compute_stats(pruned)
+    assert stats.n_pruned_choice_vars > 0, name
+
+    outcome = pipeline.replay(r_pruned.schedule, recorded.bug)
+    assert outcome.reproduced, name
