@@ -44,6 +44,10 @@ class LocksetResult:
     entries: dict
     # func -> frozenset exit lockset.
     exits: dict
+    # False when the fixpoint hit its round cap; all locksets are then
+    # bottom (empty) so consumers see no held locks rather than a
+    # partially-converged over-approximation.
+    converged: bool = True
 
     def held_before(self, point):
         return self.at_point.get(point, frozenset())
@@ -54,7 +58,17 @@ def compute_locksets(program, mode=MUST):
     if mode not in (MUST, MAY):
         raise ValueError("mode must be 'must' or 'may'")
     engine = _Engine(program, mode)
-    engine.solve()
+    converged = engine.solve()
+    if not converged:
+        # Unconverged must-mode state can over-approximate held locks
+        # (identity call-effect for an unstable callee that actually
+        # unlocks), which would let the race detector mint common-lock
+        # verdicts the pruner treats as proof.  Fail safe instead: bottom
+        # everywhere — no common-lock verdicts, no pruning — mirroring
+        # the cycle fallback in ``constraints.prune._must_order_closure``.
+        return LocksetResult(
+            mode=mode, at_point={}, entries={}, exits={}, converged=False
+        )
     return LocksetResult(
         mode=mode,
         at_point=engine.at_point,
@@ -84,6 +98,8 @@ class _Engine:
         # never stick.  The lattice is finite (subsets of the mutex set per
         # function) and per-round updates are deterministic, so a generous
         # round cap doubles as a safety net for pathological recursion.
+        # Returns True on a reached fixpoint; False if the cap ran out,
+        # in which case the caller must discard the partial state.
         for _ in range(len(self.program.functions) * 2 + 8):
             new_entries = {
                 root: frozenset()
@@ -102,7 +118,8 @@ class _Engine:
                     self.entries[name] = entry
                     changed = True
             if not changed:
-                return
+                return True
+        return False
 
     def _call_effect(self, callee, state):
         """Apply the callee's gen/kill summary to the caller's lockset."""

@@ -120,12 +120,11 @@ def analyze_races(program):
 def _classify_pair(analysis, held, var_is_shared, sa, sb):
     if not var_is_shared:
         return LOCAL
-    if sa is sb:
-        # Self-pair: only meaningful if the site's thread self-overlaps.
-        roots = analysis.mhp.roots_of(sa.func)
-        if not any(analysis.mhp.self_parallel(r) for r in roots):
-            return NON_MHP
-    elif not analysis.mhp.may_happen_in_parallel(sa, sb):
+    # Self-pairs (sa is sb) go through the same oracle: a site overlaps
+    # itself when one of its roots self-overlaps OR two distinct roots
+    # both reaching it are simultaneously live (e.g. a helper called by
+    # main while a spawned worker also calls it).
+    if not analysis.mhp.may_happen_in_parallel(sa, sb):
         return NON_MHP
     if held[sa.point] & held[sb.point]:
         return COMMON_LOCK

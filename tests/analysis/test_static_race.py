@@ -115,6 +115,24 @@ def test_must_meet_is_intersection_across_callers():
     assert result.entries["bump"] == frozenset()
 
 
+def test_lockset_converges_on_normal_programs():
+    assert compute_locksets(compiled(LOCKED_SRC), mode=MUST).converged
+
+
+def test_lockset_cap_exhaustion_fails_safe(monkeypatch):
+    # If the fixpoint ever runs out of rounds, partial must-mode state
+    # could over-approximate held locks and feed unsound common-lock
+    # verdicts into the pruner; the result must collapse to bottom.
+    from repro.analysis.static_race import locksets as ls
+
+    monkeypatch.setattr(ls._Engine, "solve", lambda self: False)
+    result = compute_locksets(compiled(LOCKED_SRC), mode=MUST)
+    assert not result.converged
+    assert result.at_point == {} and result.entries == {} and result.exits == {}
+    for site in collect_access_sites(compiled(LOCKED_SRC)):
+        assert result.held_before(site.point) == frozenset()
+
+
 def test_may_lockset_unions_across_callers():
     program = compiled(ABBA_SRC)
     may = compute_locksets(program, mode=MAY)
@@ -192,7 +210,59 @@ def test_mhp_spawn_in_loop_is_parallel_with_itself():
     assert mhp.may_happen_in_parallel(site, site)
 
 
+def test_mhp_shared_helper_self_pair_across_roots():
+    # A single access site in a helper reached by two different
+    # single-instance threads (main calls bump() while the spawned
+    # worker also calls it) overlaps with itself.
+    program = compiled(
+        """
+        int x = 0;
+        void bump() { x = x + 1; }
+        void w() { bump(); }
+        int main() {
+            int t = 0;
+            t = spawn w();
+            bump();
+            join(t);
+            return 0;
+        }
+        """
+    )
+    mhp = compute_mhp(program)
+    site = next(s for s in collect_access_sites(program) if s.func == "bump")
+    assert mhp.may_happen_in_parallel(site, site)
+
+
 # -- races --------------------------------------------------------------
+
+
+def test_shared_helper_self_pair_is_racy():
+    # Regression: the self-pair classifier must use the full MHP oracle,
+    # not just per-root self_parallel — otherwise the write-write race on
+    # bump()'s increment is lost AND exported to the pruner as proven
+    # race-free, breaking the static-superset-of-dynamic contract.
+    races = analyze_races(
+        compiled(
+            """
+            int x = 0;
+            void bump() { x = x + 1; }
+            void w() { bump(); }
+            int main() {
+                int t = 0;
+                t = spawn w();
+                bump();
+                join(t);
+                return 0;
+            }
+            """
+        )
+    )
+    assert "x" in races.racy_vars
+    assert any(p.is_write_write for p in races.race_pairs)
+    bump_write = next(
+        s for s in races.sites if s.func == "bump" and s.kind == ev.WRITE
+    )
+    assert races.verdict_for(bump_write.key, bump_write.key) == RACY
 
 
 def test_unprotected_counter_is_racy():
