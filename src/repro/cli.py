@@ -106,6 +106,34 @@ def cmd_reproduce(args):
             % (report.n_pruned_choice_vars, report.n_pruned_clauses)
         )
     print("solve time   : %.2fs (%s)" % (report.time_solve, report.solver))
+    detail = report.solver_detail
+    sat = detail.get("sat_stats")
+    if sat:
+        print(
+            "sat core     : %d solve calls, %d propagations, %d conflicts,"
+            " %d restarts, %d learned, %d reuse hits"
+            % (
+                sat.get("solve_calls", 0),
+                sat.get("propagations", 0),
+                sat.get("conflicts", 0),
+                sat.get("restarts", 0),
+                sat.get("learned", 0),
+                sat.get("reuse_hits", 0),
+            )
+        )
+    for entry in detail.get("round_stats", []):
+        print(
+            "  round c=%-2d %s %6.3fs  %5d iterations, %d conflicts,"
+            " %d reuse hits"
+            % (
+                entry.get("bound", -1),
+                "hit " if entry.get("found") else ("done" if entry.get("exhausted") else "cut "),
+                entry.get("wall", 0.0),
+                entry.get("iterations", 0),
+                entry.get("conflicts", 0),
+                entry.get("reuse_hits", 0),
+            )
+        )
     print("context sw.  :", report.context_switches)
     if report.schedule:
         print("schedule     :")
@@ -224,7 +252,9 @@ def build_parser():
 
     p = sub.add_parser("reproduce", help="record, solve and replay a failure")
     _common_run_flags(p)
-    p.add_argument("--solver", default="smt", choices=["smt", "genval"])
+    p.add_argument(
+        "--solver", default="smt", choices=["smt", "smt-inc", "genval"]
+    )
     p.add_argument("--max-seeds", type=int, default=500)
     p.add_argument("--workers", type=int, default=0)
     p.add_argument(

@@ -1,7 +1,7 @@
 """Top-level constraint encoder: F = Fpath ∧ Fbug ∧ Fso ∧ Frw ∧ Fmo."""
 
 from repro.constraints.memory_order import encode_memory_order
-from repro.constraints.model import ConstraintSystem
+from repro.constraints.model import ConstraintSystem, OLt
 from repro.constraints.prune import RWPruner
 from repro.constraints.rw import encode_read_write
 from repro.constraints.sync_order import encode_sync_order
@@ -9,6 +9,42 @@ from repro.constraints.sync_order import encode_sync_order
 
 class EncodingError(Exception):
     pass
+
+
+def assign_atom_numbering(system):
+    """Assign a stable SAT-variable numbering to the system's atoms.
+
+    Atoms are numbered 1..n in deterministic first-appearance order over
+    the encoded clause groups (the same traversal every SAT build
+    performs), with order atoms canonicalized to their ``lo < hi`` key —
+    one variable serves both directions of ``O_a < O_b``.  Because the
+    numbering is a function of the encoded system alone, every solver
+    instantiated from it — the incremental bound loop's single instance
+    or a fresh solver per round — speaks the same variable language.
+    That is the invariant that makes reusing learned clauses across
+    ``c = 0, 1, 2, …`` rounds sound (a learned clause is implied by the
+    clause database, which only ever grows) and makes fresh-vs-reuse runs
+    directly comparable.  Stored on ``system.atom_numbering``.
+    """
+    numbering = {}
+
+    def note(atom):
+        if isinstance(atom, OLt):
+            if atom.a == atom.b:
+                return
+            lo, hi = (atom.a, atom.b) if atom.a < atom.b else (atom.b, atom.a)
+            key = ("O", lo, hi)
+        else:
+            key = atom
+        if key not in numbering:
+            numbering[key] = len(numbering) + 1
+
+    for group in (system.clauses, system.exactly_one, system.at_most_one):
+        for clause in group:
+            for lit in clause.lits:
+                note(lit.atom)
+    system.atom_numbering = numbering
+    return numbering
 
 
 def encode(
@@ -94,5 +130,9 @@ def encode(
     system.rf_candidates = rf_candidates
     if pruner is not None:
         system.prune_stats = pruner.stats
+
+    # Stable variable numbering for every SAT instance built from this
+    # system (incremental bound rounds and fresh baselines alike).
+    assign_atom_numbering(system)
 
     return system

@@ -129,6 +129,12 @@ class ConstraintSystem:
     preexited: frozenset = frozenset()
     # PruneStats from constraints.prune when static pruning was applied.
     prune_stats: object = None
+    # Canonical atom-key -> SAT-variable id, assigned deterministically by
+    # ``encoder.assign_atom_numbering``.  Every SAT instance built from
+    # this system adopts it, so variable ids are stable across bound
+    # rounds and across fresh/incremental solver builds — the invariant
+    # that makes learned-clause reuse sound and runs comparable.
+    atom_numbering: dict = field(default_factory=dict)
 
     # -- convenience -----------------------------------------------------
 

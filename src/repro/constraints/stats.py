@@ -1,9 +1,52 @@
 """Constraint-size statistics — the ``#Constraints``/``#Variables`` columns
-of Table 1."""
+of Table 1 — plus the solver-phase counters the incremental CDCL core
+reports (propagations, conflicts, restarts, learned-clause reuse)."""
 
 from dataclasses import dataclass
 
 from repro.analysis.symbolic import expr_size
+
+
+@dataclass
+class SolverPhaseStats:
+    """Counters one :class:`~repro.solver.cdcl.CDCLSolver` accumulates.
+
+    The counters are cumulative over the solver's lifetime, which for the
+    incremental bound loop spans every ``c = 0, 1, 2, …`` round — so
+    ``reuse_hits`` (propagations whose reason is a clause learned in an
+    *earlier* ``solve()`` call) directly measures how much work the
+    assumption-reuse path saved versus re-encoding per round.
+    """
+
+    solve_calls: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    learned_literals: int = 0
+    reuse_hits: int = 0
+
+    def as_dict(self):
+        return {
+            "solve_calls": self.solve_calls,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned": self.learned,
+            "learned_literals": self.learned_literals,
+            "reuse_hits": self.reuse_hits,
+        }
+
+    def snapshot(self):
+        """A copy, for per-round deltas."""
+        return SolverPhaseStats(**self.as_dict())
+
+    def delta(self, earlier):
+        """Counter-wise ``self - earlier`` as a plain dict."""
+        mine, theirs = self.as_dict(), earlier.as_dict()
+        return {key: mine[key] - theirs[key] for key in mine}
 
 
 @dataclass

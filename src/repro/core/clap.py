@@ -32,7 +32,7 @@ from repro.tracing.decoder import decode_log
 from repro.tracing.ball_larus import ProgramPaths
 from repro.tracing.recorder import PathRecorder
 from repro.solver.parallel import solve_generate_validate
-from repro.solver.smt import solve_constraints
+from repro.solver.smt import solve_constraints, solve_constraints_bounded
 
 
 class ClapError(Exception):
@@ -49,7 +49,9 @@ class ClapConfig:
     stickiness: float = 0.5
     flush_prob: float = 0.25
     max_steps: int = 2_000_000
-    # Solver selection: 'smt' (sequential, Table 1) or 'genval'
+    # Solver selection: 'smt' (sequential, Table 1), 'smt-inc' (the
+    # incremental bound loop — one SAT instance across the c = 0, 1, 2, …
+    # rounds, minimizing context switches best-effort) or 'genval'
     # (generate-and-validate, Table 3).
     solver: str = "smt"
     # Reproduce the exact observed output: pin the failing thread's read
@@ -222,6 +224,10 @@ class ClapPipeline:
         cfg = self.config
         if cfg.solver == "smt":
             return solve_constraints(system, max_seconds=cfg.smt_max_seconds)
+        if cfg.solver == "smt-inc":
+            return solve_constraints_bounded(
+                system, max_cs=cfg.max_cs, max_seconds=cfg.smt_max_seconds
+            )
         if cfg.solver == "genval":
             return solve_generate_validate(
                 system,
@@ -292,6 +298,12 @@ class ClapPipeline:
             }
         else:
             report.solver_detail = {"iterations": solved.iterations}
+            if getattr(solved, "sat_stats", None):
+                report.solver_detail["sat_stats"] = solved.sat_stats
+            if getattr(solved, "bound", -1) >= 0:
+                report.solver_detail["bound"] = solved.bound
+            if getattr(solved, "round_stats", None):
+                report.solver_detail["round_stats"] = solved.round_stats
 
         outcome = self.replay(solved.schedule, recorded.bug)
         report.reproduced = outcome.reproduced

@@ -1,48 +1,173 @@
-"""A CDCL SAT solver (conflict-driven clause learning).
+"""An incremental CDCL SAT solver (conflict-driven clause learning).
 
 This is the boolean core of the CLAP solver stack — the role STP's SAT
-engine plays in the paper's prototype.  Standard modern architecture:
+engine plays in the paper's prototype.  Standard modern architecture,
+tuned for the offline phase's re-solve-per-preemption-bound loop:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation over flat per-literal watch lists,
 * first-UIP conflict analysis with non-chronological backjumping,
-* VSIDS-style activity with exponential decay (implemented by bumping),
-* geometric restarts,
-* phase saving.
+* VSIDS activity with exponential decay and an indexed binary max-heap
+  (decisions are O(log n), not a linear scan over all variables),
+* Luby-sequence restarts,
+* phase saving,
+* an assumption interface — ``solve(assumptions=[...])`` searches under
+  temporary unit hypotheses without committing them, which is what lets
+  the bound loop retract "needs more than c switches" blocking clauses
+  when it moves from bound ``c`` to ``c + 1`` while keeping every learned
+  clause,
+* per-phase counters (:class:`~repro.constraints.stats.SolverPhaseStats`):
+  propagations, conflicts, decisions, restarts, learned clauses, and
+  *reuse hits* — propagations whose reason clause was learned in an
+  earlier ``solve()`` call, the direct measure of incremental reuse.
 
-Variables are positive integers; a literal is ``+v`` or ``-v``.  The solver
-is incremental in the simplest sense: clauses may be added between
-``solve()`` calls and learned clauses are kept.
+Variables are positive integers; a literal is ``+v`` or ``-v``.  Clauses
+may be added between ``solve()`` calls; learned clauses are kept.  An
+UNSAT answer under assumptions does *not* poison the solver — only a
+conflict derived at decision level 0 is permanent.
+
+Internally a literal ``l`` indexes flat lists at ``(var << 1) | (l < 0)``
+so the hot loops touch Python lists, not dicts keyed by signed ints.
 """
 
+from repro.constraints.stats import SolverPhaseStats
 
 SAT = "sat"
 UNSAT = "unsat"
+
+_RESTART_BASE = 100  # conflicts for the first Luby restart interval
+
+
+def luby(i):
+    """The ``i``-th term (1-based) of the Luby restart sequence
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …"""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while (1 << k) - 1 != i:
+        i -= (1 << k) - 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)
+
+
+class _VarHeap:
+    """Indexed binary max-heap over variable activities.
+
+    ``pos[var]`` is the variable's slot in ``heap`` (-1 when absent), so
+    activity bumps can sift a resident variable up in O(log n).  Assigned
+    variables may linger in the heap; the decision loop pops until it
+    finds an unassigned one (MiniSat's lazy scheme).
+    """
+
+    __slots__ = ("heap", "pos", "activity")
+
+    def __init__(self, activity):
+        self.heap = []
+        self.pos = [-1]  # var 0 unused
+        self.activity = activity  # shared list, indexed by var
+
+    def register(self, var):
+        self.pos.append(-1)
+        self.insert(var)
+
+    def __bool__(self):
+        return bool(self.heap)
+
+    def insert(self, var):
+        if self.pos[var] >= 0:
+            return
+        self.heap.append(var)
+        self.pos[var] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def pop(self):
+        heap, pos = self.heap, self.pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    def bumped(self, var):
+        """Restore heap order after ``activity[var]`` increased."""
+        if self.pos[var] >= 0:
+            self._sift_up(self.pos[var])
+
+    def _sift_up(self, i):
+        heap, pos, act = self.heap, self.pos, self.activity
+        var = heap[i]
+        key = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            if act[pvar] >= key:
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _sift_down(self, i):
+        heap, pos, act = self.heap, self.pos, self.activity
+        n = len(heap)
+        var = heap[i]
+        key = act[var]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and act[heap[right]] > act[heap[child]]:
+                child = right
+            cvar = heap[child]
+            if act[cvar] <= key:
+                break
+            heap[i] = cvar
+            pos[cvar] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
 
 
 class CDCLSolver:
     def __init__(self):
         self.num_vars = 0
         self.clauses = []  # each clause: list of lits
-        self.watches = {}  # lit -> list of clause indices watching it
-        self.assign = {}  # var -> bool
-        self.level = {}  # var -> decision level
-        self.reason = {}  # var -> clause index (None for decisions)
+        self.clause_birth = []  # solve() call that created the clause
+        self.clause_learned = []  # True for learned clauses
+        self.watches = [[], []]  # (var << 1) | (lit < 0) -> clause indices
+        self.assign = [None]  # var -> True/False/None (index 0 unused)
+        self.level = [0]  # var -> decision level
+        self.reason = [None]  # var -> clause index (None for decisions)
         self.trail = []  # assigned lits in order
         self.trail_lim = []  # trail length at each decision level
-        self.activity = {}
+        self.activity = [0.0]
         self.var_inc = 1.0
         self.var_decay = 0.95
-        self.phase = {}  # saved phases
+        self.phase = [False]  # saved phases
+        self.order = _VarHeap(self.activity)
         self.propagate_head = 0
-        self._false_clause = False  # an empty clause was added
+        self._unsat = False  # a level-0 contradiction was derived
+        self.stats = SolverPhaseStats()
 
     # ------------------------------------------------------------------ #
 
     def new_var(self):
         self.num_vars += 1
         var = self.num_vars
-        self.activity[var] = 0.0
-        self.phase[var] = False
+        self.assign.append(None)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        self.order.register(var)
         return var
 
     def ensure_var(self, var):
@@ -68,32 +193,36 @@ class CDCLSolver:
                 fixed.append(lit)
         lits = fixed
         if not lits:
-            self._false_clause = True
+            self._unsat = True
             return
         if len(lits) == 1:
             if not self._enqueue(lits[0], None):
-                self._false_clause = True
+                self._unsat = True
             return
+        self._attach(lits, learned=False)
+
+    def _attach(self, lits, learned):
         index = len(self.clauses)
         self.clauses.append(lits)
-        self.watches.setdefault(lits[0], []).append(index)
-        self.watches.setdefault(lits[1], []).append(index)
+        self.clause_birth.append(self.stats.solve_calls)
+        self.clause_learned.append(learned)
+        self.watches[(abs(lits[0]) << 1) | (lits[0] < 0)].append(index)
+        self.watches[(abs(lits[1]) << 1) | (lits[1] < 0)].append(index)
+        return index
 
     # ------------------------------------------------------------------ #
 
     def _value(self, lit):
-        value = self.assign.get(abs(lit))
+        value = self.assign[abs(lit)]
         if value is None:
             return None
         return value if lit > 0 else not value
 
     def _enqueue(self, lit, reason_idx):
-        value = self._value(lit)
-        if value is False:
-            return False
-        if value is True:
-            return True
         var = abs(lit)
+        value = self.assign[var]
+        if value is not None:
+            return value is (lit > 0)
         self.assign[var] = lit > 0
         self.level[var] = len(self.trail_lim)
         self.reason[var] = reason_idx
@@ -102,32 +231,46 @@ class CDCLSolver:
 
     def _propagate(self):
         """Unit propagation; returns a conflicting clause index or None."""
-        while self.propagate_head < len(self.trail):
-            lit = self.trail[self.propagate_head]
+        assign = self.assign
+        clauses = self.clauses
+        watches = self.watches
+        trail = self.trail
+        stats = self.stats
+        solve_call = stats.solve_calls
+        clause_birth = self.clause_birth
+        clause_learned = self.clause_learned
+        while self.propagate_head < len(trail):
+            lit = trail[self.propagate_head]
             self.propagate_head += 1
+            stats.propagations += 1
             false_lit = -lit
-            watching = self.watches.get(false_lit)
+            widx = (abs(false_lit) << 1) | (false_lit < 0)
+            watching = watches[widx]
             if not watching:
                 continue
             keep = []
             i = 0
-            while i < len(watching):
+            n_watching = len(watching)
+            while i < n_watching:
                 ci = watching[i]
                 i += 1
-                clause = self.clauses[ci]
+                clause = clauses[ci]
                 # Ensure false_lit is at position 1.
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) is True:
+                value = assign[abs(first)]
+                if value is not None and value is (first > 0):
                     keep.append(ci)
                     continue
                 # Find a new literal to watch.
                 found = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches.setdefault(clause[1], []).append(ci)
+                    other = clause[k]
+                    value = assign[abs(other)]
+                    if value is None or value is (other > 0):
+                        clause[1], clause[k] = other, clause[1]
+                        watches[(abs(other) << 1) | (other < 0)].append(ci)
                         found = True
                         break
                 if found:
@@ -136,22 +279,26 @@ class CDCLSolver:
                 # Clause is unit or conflicting.
                 if not self._enqueue(first, ci):
                     keep.extend(watching[i:])
-                    self.watches[false_lit] = keep
+                    watches[widx] = keep
                     return ci
-            self.watches[false_lit] = keep
+                if clause_learned[ci] and clause_birth[ci] != solve_call:
+                    stats.reuse_hits += 1
+            watches[widx] = keep
         return None
 
     # ------------------------------------------------------------------ #
 
     def _bump(self, var):
-        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            activity = self.activity
+            for v in range(1, self.num_vars + 1):
+                activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        self.order.bumped(var)
 
     def _decay(self):
         self.var_inc /= self.var_decay
-        if self.var_inc > 1e100:
-            for var in self.activity:
-                self.activity[var] *= 1e-100
-            self.var_inc *= 1e-100
 
     def _analyze(self, conflict_idx):
         """First-UIP learning.  Returns (learned_clause, backjump_level)."""
@@ -162,16 +309,17 @@ class CDCLSolver:
         clause = self.clauses[conflict_idx]
         index = len(self.trail) - 1
         current_level = len(self.trail_lim)
+        level = self.level
         while True:
             for lit in clause:
                 if pivot is not None and lit == pivot:
                     continue  # skip the pivot's own occurrence in its reason
                 var = abs(lit)
-                if var in seen or self.level[var] == 0:
+                if var in seen or level[var] == 0:
                     continue
                 seen.add(var)
                 self._bump(var)
-                if self.level[var] == current_level:
+                if level[var] == current_level:
                     counter += 1
                 else:
                     learned.append(lit)
@@ -189,11 +337,10 @@ class CDCLSolver:
         learned.insert(0, -pivot)
         if len(learned) == 1:
             return learned, 0
-        levels = sorted((self.level[abs(l)] for l in learned[1:]), reverse=True)
-        backjump = levels[0]
+        backjump = max(level[abs(l)] for l in learned[1:])
         # Put a literal of the backjump level at position 1 for watching.
         for k in range(1, len(learned)):
-            if self.level[abs(learned[k])] == backjump:
+            if level[abs(learned[k])] == backjump:
                 learned[1], learned[k] = learned[k], learned[1]
                 break
         return learned, backjump
@@ -202,70 +349,122 @@ class CDCLSolver:
         if len(self.trail_lim) <= target_level:
             return
         limit = self.trail_lim[target_level]
+        assign = self.assign
+        phase = self.phase
+        reason = self.reason
+        order = self.order
         for lit in self.trail[limit:]:
             var = abs(lit)
-            self.phase[var] = self.assign[var]
-            del self.assign[var]
-            del self.level[var]
-            del self.reason[var]
+            phase[var] = assign[var]
+            assign[var] = None
+            reason[var] = None
+            order.insert(var)
         del self.trail[limit:]
         del self.trail_lim[target_level:]
-        self.propagate_head = min(self.propagate_head, len(self.trail))
+        if self.propagate_head > len(self.trail):
+            self.propagate_head = len(self.trail)
 
     def _decide(self):
-        best_var = None
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if var not in self.assign and self.activity.get(var, 0.0) > best_act:
-                best_var = var
-                best_act = self.activity.get(var, 0.0)
-        if best_var is None:
-            return False
-        self.trail_lim.append(len(self.trail))
-        lit = best_var if self.phase.get(best_var, False) else -best_var
-        self._enqueue(lit, None)
-        return True
+        assign = self.assign
+        order = self.order
+        while order:
+            var = order.pop()
+            if assign[var] is None:
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(var if self.phase[var] else -var, None)
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
 
-    def solve(self, max_conflicts=None):
-        """Run CDCL search.  Returns SAT or UNSAT (never gives up unless
-        ``max_conflicts`` is hit, in which case it returns None)."""
-        if self._false_clause:
+    def solve(self, assumptions=(), max_conflicts=None):
+        """Run CDCL search under the given assumption literals.
+
+        Returns SAT, UNSAT, or None when ``max_conflicts`` is hit.  UNSAT
+        with assumptions means "unsatisfiable *under these assumptions*";
+        the solver stays usable and keeps everything it learned.  Only a
+        level-0 contradiction (UNSAT with no assumptions involved) is
+        permanent.
+        """
+        if self._unsat:
             return UNSAT
+        self.stats.solve_calls += 1
         self._backtrack(0)
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
+        n_assumptions = len(assumptions)
         conflicts = 0
-        restart_limit = 100
         restart_count = 0
+        restart_number = 1
+        restart_limit = _RESTART_BASE * luby(restart_number)
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts += 1
                 restart_count += 1
-                if len(self.trail_lim) == 0:
+                self.stats.conflicts += 1
+                if not self.trail_lim:
+                    self._unsat = True
                     return UNSAT
                 learned, backjump = self._analyze(conflict)
                 self._backtrack(backjump)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0], None):
+                        self._unsat = True
                         return UNSAT
                 else:
-                    index = len(self.clauses)
-                    self.clauses.append(learned)
-                    self.watches.setdefault(learned[0], []).append(index)
-                    self.watches.setdefault(learned[1], []).append(index)
+                    index = self._attach(learned, learned=True)
                     self._enqueue(learned[0], index)
+                self.stats.learned += 1
+                self.stats.learned_literals += len(learned)
                 self._decay()
                 if max_conflicts is not None and conflicts >= max_conflicts:
+                    self._backtrack(0)
                     return None
                 if restart_count >= restart_limit:
                     restart_count = 0
-                    restart_limit = int(restart_limit * 1.5)
+                    restart_number += 1
+                    restart_limit = _RESTART_BASE * luby(restart_number)
+                    self.stats.restarts += 1
                     self._backtrack(0)
             else:
+                # Re-establish assumption levels 1..n, then decide.
+                lvl = len(self.trail_lim)
+                pending = None
+                failed = False
+                while lvl < n_assumptions:
+                    lit = assumptions[lvl]
+                    value = self._value(lit)
+                    if value is True:
+                        # Already implied: give it its own (empty) level so
+                        # level bookkeeping matches MiniSat's scheme.
+                        self.trail_lim.append(len(self.trail))
+                        lvl += 1
+                    elif value is False:
+                        failed = True
+                        break
+                    else:
+                        pending = lit
+                        break
+                if failed:
+                    # The assumption is falsified by the clauses plus the
+                    # earlier assumptions: UNSAT under assumptions only.
+                    self._backtrack(0)
+                    return UNSAT
+                if pending is not None:
+                    self.trail_lim.append(len(self.trail))
+                    self._enqueue(pending, None)
+                    continue
                 if not self._decide():
                     return SAT
 
     def model(self):
         """Assignment after SAT: {var: bool} (level-0 units included)."""
-        return dict(self.assign)
+        assign = self.assign
+        return {
+            var: assign[var]
+            for var in range(1, self.num_vars + 1)
+            if assign[var] is not None
+        }

@@ -1,0 +1,269 @@
+"""The frozen seed CDCL solver, kept as a differential/perf baseline.
+
+This is a verbatim copy of the pre-incremental boolean core (dict-based
+state, linear-scan VSIDS decision loop, geometric restarts, no
+assumptions).  It exists for two reasons only:
+
+* the CNF fuzzer and the incremental-equivalence tests use it as an
+  independent oracle against the rewritten ``repro.solver.cdcl``;
+* ``benchmarks/test_solver_perf.py`` times it as the "old" column of
+  ``BENCH_solver.json``.
+
+Do not extend it — new solver work goes into ``repro.solver.cdcl``.
+"""
+
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+class CDCLSolver:
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses = []  # each clause: list of lits
+        self.watches = {}  # lit -> list of clause indices watching it
+        self.assign = {}  # var -> bool
+        self.level = {}  # var -> decision level
+        self.reason = {}  # var -> clause index (None for decisions)
+        self.trail = []  # assigned lits in order
+        self.trail_lim = []  # trail length at each decision level
+        self.activity = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.phase = {}  # saved phases
+        self.propagate_head = 0
+        self._false_clause = False  # an empty clause was added
+
+    # ------------------------------------------------------------------ #
+
+    def new_var(self):
+        self.num_vars += 1
+        var = self.num_vars
+        self.activity[var] = 0.0
+        self.phase[var] = False
+        return var
+
+    def ensure_var(self, var):
+        while self.num_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits):
+        """Add a clause; may be called between solve() calls."""
+        lits = list(dict.fromkeys(lits))  # dedupe, keep order
+        for lit in lits:
+            self.ensure_var(abs(lit))
+        if any(-lit in lits for lit in lits):
+            return  # tautology
+        # Must add at level 0: backtrack all decisions first.
+        self._backtrack(0)
+        # Remove literals already false at level 0; satisfied -> skip.
+        fixed = []
+        for lit in lits:
+            value = self._value(lit)
+            if value is True:
+                return
+            if value is None:
+                fixed.append(lit)
+        lits = fixed
+        if not lits:
+            self._false_clause = True
+            return
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._false_clause = True
+            return
+        index = len(self.clauses)
+        self.clauses.append(lits)
+        self.watches.setdefault(lits[0], []).append(index)
+        self.watches.setdefault(lits[1], []).append(index)
+
+    # ------------------------------------------------------------------ #
+
+    def _value(self, lit):
+        value = self.assign.get(abs(lit))
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit, reason_idx):
+        value = self._value(lit)
+        if value is False:
+            return False
+        if value is True:
+            return True
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_idx
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self):
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.propagate_head < len(self.trail):
+            lit = self.trail[self.propagate_head]
+            self.propagate_head += 1
+            false_lit = -lit
+            watching = self.watches.get(false_lit)
+            if not watching:
+                continue
+            keep = []
+            i = 0
+            while i < len(watching):
+                ci = watching[i]
+                i += 1
+                clause = self.clauses[ci]
+                # Ensure false_lit is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    keep.append(ci)
+                    continue
+                # Find a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(ci)
+                # Clause is unit or conflicting.
+                if not self._enqueue(first, ci):
+                    keep.extend(watching[i:])
+                    self.watches[false_lit] = keep
+                    return ci
+            self.watches[false_lit] = keep
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, var):
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+
+    def _decay(self):
+        self.var_inc /= self.var_decay
+        if self.var_inc > 1e100:
+            for var in self.activity:
+                self.activity[var] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_idx):
+        """First-UIP learning.  Returns (learned_clause, backjump_level)."""
+        learned = []
+        seen = set()
+        counter = 0
+        pivot = None  # the implied literal whose reason we resolve with
+        clause = self.clauses[conflict_idx]
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            for lit in clause:
+                if pivot is not None and lit == pivot:
+                    continue  # skip the pivot's own occurrence in its reason
+                var = abs(lit)
+                if var in seen or self.level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find next current-level literal on the trail to resolve out.
+            while abs(self.trail[index]) not in seen:
+                index -= 1
+            pivot = self.trail[index]
+            var_p = abs(pivot)
+            seen.discard(var_p)
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.clauses[self.reason[var_p]]
+        learned.insert(0, -pivot)
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted((self.level[abs(l)] for l in learned[1:]), reverse=True)
+        backjump = levels[0]
+        # Put a literal of the backjump level at position 1 for watching.
+        for k in range(1, len(learned)):
+            if self.level[abs(learned[k])] == backjump:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backjump
+
+    def _backtrack(self, target_level):
+        if len(self.trail_lim) <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in self.trail[limit:]:
+            var = abs(lit)
+            self.phase[var] = self.assign[var]
+            del self.assign[var]
+            del self.level[var]
+            del self.reason[var]
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.propagate_head = min(self.propagate_head, len(self.trail))
+
+    def _decide(self):
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assign and self.activity.get(var, 0.0) > best_act:
+                best_var = var
+                best_act = self.activity.get(var, 0.0)
+        if best_var is None:
+            return False
+        self.trail_lim.append(len(self.trail))
+        lit = best_var if self.phase.get(best_var, False) else -best_var
+        self._enqueue(lit, None)
+        return True
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, max_conflicts=None):
+        """Run CDCL search.  Returns SAT or UNSAT (never gives up unless
+        ``max_conflicts`` is hit, in which case it returns None)."""
+        if self._false_clause:
+            return UNSAT
+        self._backtrack(0)
+        conflicts = 0
+        restart_limit = 100
+        restart_count = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                restart_count += 1
+                if len(self.trail_lim) == 0:
+                    return UNSAT
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return UNSAT
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches.setdefault(learned[0], []).append(index)
+                    self.watches.setdefault(learned[1], []).append(index)
+                    self._enqueue(learned[0], index)
+                self._decay()
+                if max_conflicts is not None and conflicts >= max_conflicts:
+                    return None
+                if restart_count >= restart_limit:
+                    restart_count = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+            else:
+                if not self._decide():
+                    return SAT
+
+    def model(self):
+        """Assignment after SAT: {var: bool} (level-0 units included)."""
+        return dict(self.assign)

@@ -289,6 +289,12 @@ class ScheduleGenerator:
             stats["capped"] = False
         produced = 0
         steps = 0
+        # Distinct branches can converge on the same SAP sequence — e.g. a
+        # lost-signal wake choice whose woken thread never runs again, or
+        # exact-bound branches that charge the same segments in a
+        # different order.  Suppress re-yields: downstream bug checks and
+        # validation are pure functions of the sequence.
+        seen = set()
         def finish(capped):
             if stats is not None:
                 stats["steps"] = steps
@@ -317,8 +323,11 @@ class ScheduleGenerator:
                         first_preemption is None
                         or state.first_mark == first_preemption
                     ):
-                        produced += 1
-                        yield state.schedule
+                        key = tuple(state.schedule)
+                        if key not in seen:
+                            seen.add(key)
+                            produced += 1
+                            yield state.schedule
                     break
                 candidates = []
                 cur = state.current

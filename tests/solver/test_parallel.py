@@ -77,3 +77,54 @@ def test_parallel_mode_matches_sequential(race_setup):
     par = solve_generate_validate(system, workers=2, probes_per_round=8)
     assert seq.ok and par.ok
     assert par.context_switches == seq.context_switches
+
+
+def test_solve_time_includes_formula_construction(race_setup, monkeypatch):
+    """Regression: ``solve_time`` must charge generator/validator
+    construction (the formula build) to the solver, and ``encode_time``
+    must report it — Table 2's overhead split depends on both."""
+    import time as time_mod
+
+    import repro.solver.parallel as parallel_mod
+    from repro.solver.schedule_gen import ScheduleGenerator
+
+    pipe, recorded, system = race_setup
+    delay = 0.05
+    original_init = ScheduleGenerator.__init__
+
+    def slow_init(self, *args, **kwargs):
+        time_mod.sleep(delay)
+        original_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(ScheduleGenerator, "__init__", slow_init)
+    result = parallel_mod.solve_generate_validate(system)
+    assert result.ok
+    assert result.encode_time >= delay
+    assert result.solve_time >= result.encode_time
+
+
+def test_generator_and_validator_built_once(race_setup, monkeypatch):
+    """The sequential driver must reuse one generator/validator across all
+    probes and bound rounds instead of rebuilding them per probe."""
+    import repro.solver.parallel as parallel_mod
+    from repro.solver.schedule_gen import ScheduleGenerator
+    from repro.solver.validate import ScheduleValidator
+
+    pipe, recorded, system = race_setup
+    counts = {"gen": 0, "val": 0}
+    gen_init = ScheduleGenerator.__init__
+    val_init = ScheduleValidator.__init__
+
+    def counting_gen_init(self, *args, **kwargs):
+        counts["gen"] += 1
+        gen_init(self, *args, **kwargs)
+
+    def counting_val_init(self, *args, **kwargs):
+        counts["val"] += 1
+        val_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(ScheduleGenerator, "__init__", counting_gen_init)
+    monkeypatch.setattr(ScheduleValidator, "__init__", counting_val_init)
+    result = parallel_mod.solve_generate_validate(system, probes_per_round=8)
+    assert result.ok
+    assert counts == {"gen": 1, "val": 1}

@@ -131,3 +131,151 @@ def test_condvar_program_generates_feasible_schedules():
         if outcome.ok:
             found += 1
     assert found > 0, "wait/signal program must admit feasible schedules"
+
+
+SINGLE_THREAD_SRC = """
+int x = 0;
+int main() {
+    x = x + 1;
+    x = x + 2;
+    assert(x == 0);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def single_thread_system():
+    pipe = ClapPipeline(SINGLE_THREAD_SRC, ClapConfig())
+    return pipe.analyze(pipe.record())
+
+
+def test_single_thread_program_yields_exactly_program_order(
+    single_thread_system,
+):
+    gen = ScheduleGenerator(single_thread_system)
+    schedules = [
+        tuple(s) for s in gen.generate(max_preemptions=0, max_schedules=50)
+    ]
+    # One thread, SC: the program order is the only schedule.
+    assert len(schedules) == 1
+    pos = {uid: i for i, uid in enumerate(schedules[0])}
+    for thread, edges in single_thread_system.thread_order.items():
+        for a, b in edges:
+            assert pos[a] < pos[b]
+
+
+def test_single_thread_program_has_no_exact_preemption_schedules(
+    single_thread_system,
+):
+    gen = ScheduleGenerator(single_thread_system)
+    # There is no second thread to charge a segment: demanding exactly one
+    # interleaving must produce nothing, and the walk must terminate.
+    stats = {}
+    schedules = list(
+        gen.generate(
+            max_preemptions=1, exact_preemptions=True, stats=stats
+        )
+    )
+    assert schedules == []
+    assert stats["capped"] is False, "space must be exhausted, not cut off"
+
+
+def test_zero_preemption_round_with_unsatisfiable_bug(race_system):
+    """c = 0 on the race program: schedules exist, none manifests the bug
+    (the race needs a preemption), and the bounded space exhausts."""
+    from repro.solver.parallel import _bug_holds
+
+    gen = ScheduleGenerator(race_system)
+    stats = {}
+    n = 0
+    for schedule in gen.generate(max_preemptions=0, stats=stats):
+        n += 1
+        assert not _bug_holds(race_system, schedule, gen)
+    assert n > 0
+    assert stats["capped"] is False
+
+
+def test_no_duplicate_schedules_emitted(race_system):
+    gen = ScheduleGenerator(race_system)
+    for kwargs in (
+        dict(max_preemptions=1, max_schedules=300),
+        dict(max_preemptions=2, exact_preemptions=True, max_schedules=300),
+        dict(max_preemptions=1, max_schedules=300, order_seed=7),
+    ):
+        schedules = [tuple(s) for s in gen.generate(**kwargs)]
+        assert len(schedules) == len(set(schedules)), kwargs
+
+
+# Two waiters and two signalers on one condvar: branches that assign the
+# two signals to the two waiters in swapped ways can pop the exact same
+# SAP sequence — the canonical duplicate-producing shape (without the
+# generator's seen-set, ~1 in 6 of this program's yields is a repeat).
+TWO_WAITER_SRC = """
+int go = 0;
+int served = 0;
+mutex m;
+cond cv;
+void waiter() {
+    lock(m);
+    while (go == 0) { wait(cv, m); }
+    served = served + 1;
+    unlock(m);
+}
+void signaler() {
+    lock(m);
+    go = 1;
+    signal(cv);
+    unlock(m);
+}
+int main() {
+    int w1 = 0;
+    int w2 = 0;
+    int s1 = 0;
+    int s2 = 0;
+    w1 = spawn waiter();
+    w2 = spawn waiter();
+    s1 = spawn signaler();
+    s2 = spawn signaler();
+    join(w1);
+    join(w2);
+    join(s1);
+    join(s2);
+    assert(served == 2);
+    return 0;
+}
+"""
+
+
+def test_no_duplicate_schedules_with_signal_wake_choices():
+    """Wake choices (which waiter a signal wakes, or none) fork branches
+    that can converge on the same SAP sequence; the generator must
+    suppress the re-yields."""
+    pipe = ClapPipeline(TWO_WAITER_SRC, ClapConfig(stickiness=0.4))
+    recorded = pipe.record_once(0)
+    from repro.analysis.symexec import execute_recorded_paths
+    from repro.constraints.memory_order import encode_memory_order
+    from repro.constraints.model import ConstraintSystem
+    from repro.tracing.decoder import decode_log
+
+    summaries = execute_recorded_paths(
+        pipe.program, decode_log(recorded.recorder), pipe.shared, bug=None
+    )
+    system = ConstraintSystem(memory_model="sc", summaries=summaries)
+    for summary in summaries.values():
+        for sap in summary.saps:
+            system.saps[sap.uid] = sap
+        system.conditions.extend(summary.conditions)
+    for info in pipe.program.symbols.globals.values():
+        if info.is_data and info.name in pipe.shared:
+            system.initial_values[(info.name,)] = info.init
+    edges, per_thread = encode_memory_order(summaries, "sc")
+    system.hard_edges.extend(edges)
+    system.thread_order = per_thread
+
+    gen = ScheduleGenerator(system)
+    schedules = [
+        tuple(s) for s in gen.generate(max_preemptions=3, max_schedules=3000)
+    ]
+    assert schedules, "condvar program must generate schedules"
+    assert len(schedules) == len(set(schedules))
