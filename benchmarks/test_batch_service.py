@@ -1,0 +1,58 @@
+"""The durable-store round trip over the paper's Table-1 suite.
+
+Every benchmark is recorded into a trace corpus (streaming ``.clap``
+write), then reproduced by the batch service **from disk alone** — the
+in-memory recording is gone by the time the worker pool runs, so this is
+the paper's scenario of analyzing a production failure after the fact.
+
+Shape assertions: all 11 entries verify clean, and the batch reports
+``reproduced`` for every one.  The rendered per-job table (solve times,
+context switches, SAT counters) lands in ``results/batch_service.txt``.
+"""
+
+import pytest
+
+from repro.bench.programs import TABLE1_NAMES, get_benchmark
+from repro.core.clap import ClapConfig
+from repro.service import format_batch_table, run_batch
+from repro.store import Corpus
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def corpus_root(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("table1_corpus"))
+    corpus = Corpus.create(root)
+    for name in TABLE1_NAMES:
+        bench = get_benchmark(name)
+        corpus.add(
+            bench.source,
+            name=name,
+            config=ClapConfig(**bench.config_kwargs()),
+        )
+    return root
+
+
+def test_corpus_holds_all_benchmarks(corpus_root):
+    corpus = Corpus.open(corpus_root)
+    programs = sorted(e.program_name() for e in corpus.entries())
+    assert programs == sorted(TABLE1_NAMES)
+    for entry in corpus.entries():
+        ok, problems = entry.verify()
+        assert ok, "%s: %s" % (entry.entry_id, problems)
+
+
+def test_batch_reproduces_table1_from_disk(corpus_root):
+    results, aggregate = run_batch(corpus_root, jobs=2, timeout=600.0)
+    emit("batch_service.txt", format_batch_table(results, aggregate))
+    failed = [
+        "%s: %s (%s)" % (r.entry_id, r.status, r.reason)
+        for r in results
+        if not r.ok
+    ]
+    assert not failed, failed
+    assert aggregate["reproduced"] == len(TABLE1_NAMES)
+    # The offline phase reuses the recorded schedule parameters, so the
+    # solve-time profile should match Table 1: every job under a minute.
+    assert aggregate["max_solve_time"] < 60.0

@@ -40,7 +40,16 @@ from repro.analysis.symbolic import (
 
 
 class SymExecError(Exception):
-    """The recorded path cannot be re-executed symbolically."""
+    """The recorded path cannot be re-executed symbolically.
+
+    ``thread`` names the offending thread when known — the trace store's
+    recovery validation uses it to prune threads whose logs the truncated
+    tail can no longer account for.
+    """
+
+    def __init__(self, message, thread=None):
+        super().__init__(message)
+        self.thread = thread
 
 
 @dataclass(frozen=True)
@@ -195,7 +204,9 @@ class SymbolicExecutor:
 
     def error(self, message, instr=None):
         where = " (line %d)" % instr.line if instr is not None else ""
-        raise SymExecError("thread %s%s: %s" % (self.thread, where, message))
+        raise SymExecError(
+            "thread %s%s: %s" % (self.thread, where, message), thread=self.thread
+        )
 
     def emit(self, kind, addr=None, value=None, line=0, deps=frozenset()):
         sap = SymSAP(
@@ -267,12 +278,14 @@ class SymbolicExecutor:
             if node is None or not node.resumed:
                 raise SymExecError(
                     "thread %s: checkpoint has %d open frames but the log "
-                    "resumed only %d" % (self.thread, len(self.resume.frames), i)
+                    "resumed only %d" % (self.thread, len(self.resume.frames), i),
+                    thread=self.thread,
                 )
             if node.func != snap.func:
                 raise SymExecError(
                     "thread %s: resumed frame %s does not match snapshot %s"
-                    % (self.thread, node.func, snap.func)
+                    % (self.thread, node.func, snap.func),
+                    thread=self.thread,
                 )
             frame = _Frame(node, self.program.function(snap.func))
             frame.ip = snap.ip
@@ -598,7 +611,8 @@ class SymbolicExecutor:
         if instr is None or instr.op != bc.WAIT:
             raise SymExecError(
                 "thread %s: wait_stage set but stop instruction is not WAIT"
-                % self.thread
+                % self.thread,
+                thread=self.thread,
             )
         self.emit(ev.UNLOCK, addr=instr.arg2, line=instr.line)
         if trace.wait_stage >= 2:
@@ -642,7 +656,8 @@ class SymbolicExecutor:
                 return
         raise SymExecError(
             "bug at %s line %d not found on recorded path of thread %s"
-            % (self.bug.message, self.bug.line, self.thread)
+            % (self.bug.message, self.bug.line, self.thread),
+            thread=self.thread,
         )
 
     def _op_assume(self, frame, instr):
@@ -704,7 +719,8 @@ def execute_recorded_paths(program, decoded, shared, bug=None, checkpoint=None):
         if trace.root.resumed:
             if checkpoint is None:
                 raise SymExecError(
-                    "thread %s log resumes mid-path but no checkpoint given" % name
+                    "thread %s log resumes mid-path but no checkpoint given" % name,
+                    thread=name,
                 )
             executor = SymbolicExecutor(
                 program,
@@ -719,13 +735,15 @@ def execute_recorded_paths(program, decoded, shared, bug=None, checkpoint=None):
             continue
         if name not in spawn_args:
             raise SymExecError(
-                "no spawn record for thread %s (parent missing from logs?)" % name
+                "no spawn record for thread %s (parent missing from logs?)" % name,
+                thread=name,
             )
         func_name, args = spawn_args[name]
         if trace.root.func != func_name:
             raise SymExecError(
                 "thread %s log is for %s but parent spawned %s"
-                % (name, trace.root.func, func_name)
+                % (name, trace.root.func, func_name),
+                thread=name,
             )
         executor = SymbolicExecutor(
             program, name, trace, shared, bug=bug, args=args

@@ -10,10 +10,13 @@ disasm     Show the compiled bytecode of every function.
 trace      Decode and print a thread-local path log against its program.
 bench      Regenerate a table of the paper's evaluation (1, 2 or 3).
 litmus     Run the memory-model litmus suite and print observed outcomes.
+corpus     Manage a durable trace corpus (add/ls/verify/compact/recover).
+batch      Reproduce every corpus entry across a worker pool.
 """
 
 import argparse
 import json
+import os
 import sys
 
 from repro.minilang import compile_source
@@ -167,6 +170,8 @@ def cmd_disasm(args):
 
 
 def cmd_trace(args):
+    import zlib
+
     from repro.core.clap import ClapConfig, ClapPipeline
     from repro.tracing.decoder import decode_log
 
@@ -180,6 +185,34 @@ def cmd_trace(args):
     pipeline = ClapPipeline(program, config)
     recorded = pipeline.record() if args.buggy else pipeline.record_once(args.seed)
     decoded = decode_log(recorded.recorder)
+
+    if args.json:
+        threads = {}
+        for thread, tokens in sorted(recorded.recorder.logs.items()):
+            raw = recorded.recorder.encoded_logs()[thread]
+            comp = zlib.compress(raw, 6)
+            threads[thread] = {
+                "tokens": [list(token) for token in tokens],
+                "n_tokens": len(tokens),
+                "encoded_bytes": len(raw),
+                "compressed_bytes": len(comp),
+                "compression_ratio": round(len(comp) / len(raw), 4)
+                if raw
+                else 1.0,
+            }
+        print(
+            json.dumps(
+                {
+                    "program": program.name,
+                    "seed": recorded.seed,
+                    "bug": str(recorded.bug) if recorded.bug else None,
+                    "threads": threads,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
 
     def show(node, depth):
         flag = "" if node.complete else "  [stopped at block %s ip %s]" % (
@@ -223,6 +256,127 @@ def cmd_litmus(args):
             outcomes = ", ".join(str(o) for o in sorted(result.outcomes))
             print("%-5s %-4s -> %s" % (name, model, outcomes))
     return 0
+
+
+def cmd_corpus_add(args):
+    from repro.core.clap import ClapConfig
+    from repro.store import Corpus
+
+    with open(args.program) as fh:
+        source = fh.read()
+    name = args.name or args.program.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    config = ClapConfig(
+        memory_model=args.memory_model,
+        seeds=range(args.max_seeds),
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+    )
+    corpus = Corpus.open_or_create(args.corpus)
+    entry = corpus.add(
+        source, name=name, config=config, flush_every=args.flush_every
+    )
+    stats = entry.manifest["stats"]
+    print("added %s" % entry.entry_id)
+    print(
+        "  seed=%d threads=%d saps=%d log=%dB trace=%dB"
+        % (
+            entry.manifest["record"]["seed"],
+            len(stats["thread_names"]),
+            stats["n_saps"],
+            stats["log_bytes"],
+            os.path.getsize(entry.trace_path),
+        )
+    )
+    return 0
+
+
+def cmd_corpus_ls(args):
+    from repro.store import Corpus
+
+    corpus = Corpus.open(args.corpus)
+    entries = corpus.entries()
+    if not entries:
+        print("(empty corpus)")
+        return 0
+    for entry in entries:
+        manifest = entry.manifest
+        stats = manifest.get("stats", {})
+        print(
+            "%-28s %-10s seed=%-4d threads=%d saps=%-4d %s%s"
+            % (
+                entry.entry_id,
+                manifest["program"]["name"],
+                manifest["record"]["seed"],
+                len(stats.get("thread_names", [])),
+                stats.get("n_saps", 0),
+                manifest.get("bug", {}).get("message", ""),
+                "  [recovered]" if manifest.get("recovered") else "",
+            )
+        )
+    return 0
+
+
+def cmd_corpus_verify(args):
+    from repro.store import Corpus
+
+    corpus = Corpus.open(args.corpus)
+    entry_ids = args.entries or corpus.entry_ids()
+    bad = 0
+    for entry_id in entry_ids:
+        ok, problems = corpus.entry(entry_id).verify()
+        if ok:
+            print("%-28s ok" % entry_id)
+        else:
+            bad += 1
+            print("%-28s CORRUPT" % entry_id)
+            for problem in problems:
+                print("    %s" % problem)
+    return 1 if bad else 0
+
+
+def cmd_corpus_compact(args):
+    from repro.store import Corpus
+
+    corpus = Corpus.open(args.corpus)
+    entry_ids = args.entries or corpus.entry_ids()
+    for entry_id in entry_ids:
+        old, new = corpus.entry(entry_id).compact()
+        print("%-28s %d -> %d bytes" % (entry_id, old, new))
+    return 0
+
+
+def cmd_corpus_recover(args):
+    from repro.store import Corpus
+
+    corpus = Corpus.open(args.corpus)
+    report = corpus.entry(args.entry).recover()
+    print(report.summary())
+    for note in report.notes:
+        print("  note:", note)
+    return 0 if report.validated else 1
+
+
+def cmd_batch(args):
+    from repro.service import format_batch_table, run_batch
+
+    def progress(_index, outcome):
+        print(
+            "  %-28s %s" % (outcome.get("entry_id", "?"), outcome.get("status")),
+            file=sys.stderr,
+        )
+
+    results, aggregate = run_batch(
+        args.corpus,
+        entry_ids=args.entries or None,
+        jobs=args.jobs,
+        solver=args.solver,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        sink_path=args.out,
+        on_outcome=progress if not args.quiet else None,
+    )
+    print(format_batch_table(results, aggregate))
+    return 0 if aggregate["reproduced"] == aggregate["jobs"] else 1
 
 
 def _common_run_flags(sub):
@@ -285,7 +439,68 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--buggy", action="store_true", help="search for a failing run")
     p.add_argument("--max-seeds", type=int, default=500)
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="raw tokens plus per-thread byte/compression stats as JSON",
+    )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("corpus", help="manage a durable trace corpus")
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+
+    c = csub.add_parser("add", help="record a failure and store its trace")
+    c.add_argument("corpus", help="corpus directory (created if missing)")
+    _common_run_flags(c)
+    c.add_argument("--name", help="program name (default: file stem)")
+    c.add_argument("--max-seeds", type=int, default=500)
+    c.add_argument(
+        "--flush-every",
+        type=int,
+        default=16,
+        help="streaming chunk granularity in tokens",
+    )
+    c.set_defaults(func=cmd_corpus_add)
+
+    c = csub.add_parser("ls", help="list corpus entries")
+    c.add_argument("corpus")
+    c.set_defaults(func=cmd_corpus_ls)
+
+    c = csub.add_parser(
+        "verify", help="CRC/footer/hash-check entries (exit 1 on corruption)"
+    )
+    c.add_argument("corpus")
+    c.add_argument("entries", nargs="*", help="entry ids (default: all)")
+    c.set_defaults(func=cmd_corpus_verify)
+
+    c = csub.add_parser(
+        "compact", help="merge streaming chunks for minimum size"
+    )
+    c.add_argument("corpus")
+    c.add_argument("entries", nargs="*", help="entry ids (default: all)")
+    c.set_defaults(func=cmd_corpus_compact)
+
+    c = csub.add_parser(
+        "recover", help="rebuild a truncated trace from its chunk prefix"
+    )
+    c.add_argument("corpus")
+    c.add_argument("entry")
+    c.set_defaults(func=cmd_corpus_recover)
+
+    p = sub.add_parser(
+        "batch", help="reproduce every corpus entry across a worker pool"
+    )
+    p.add_argument("corpus")
+    p.add_argument("--entries", nargs="*", help="entry ids (default: all)")
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument(
+        "--solver", default="smt", choices=["smt", "smt-inc", "genval"]
+    )
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--out", help="append JSONL results to this file")
+    p.add_argument("--quiet", action="store_true", help="no per-job progress")
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("bench", help="regenerate a paper table")
     p.add_argument("table", type=int, choices=[1, 2, 3])

@@ -49,6 +49,24 @@ class SolverPhaseStats:
         return {key: mine[key] - theirs[key] for key in mine}
 
 
+def merge_sat_stats(stat_dicts):
+    """Counter-wise sum of :meth:`SolverPhaseStats.as_dict` payloads.
+
+    The batch service uses this to aggregate per-job SAT counters into
+    its summary table.  ``None``/empty entries are skipped and
+    non-numeric values ignored, so partially populated job results (a
+    genval run has no CDCL counters) merge cleanly.
+    """
+    total = {}
+    for stats in stat_dicts:
+        if not stats:
+            continue
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                total[key] = total.get(key, 0) + value
+    return total
+
+
 @dataclass
 class ConstraintStats:
     n_saps: int = 0

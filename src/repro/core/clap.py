@@ -139,9 +139,14 @@ class ClapPipeline:
 
     # -- phase 1 ----------------------------------------------------------
 
-    def record_once(self, seed):
-        """One recorded run under the given scheduler seed."""
-        recorder = PathRecorder(self.program, paths=self.paths)
+    def record_once(self, seed, sink=None):
+        """One recorded run under the given scheduler seed.
+
+        ``sink`` (a :class:`repro.tracing.recorder.StreamingTraceSink`)
+        streams tokens chunk-by-chunk to durable storage as they are
+        recorded; the caller owns closing it.
+        """
+        recorder = PathRecorder(self.program, paths=self.paths, sink=sink)
         scheduler = RandomScheduler(
             seed,
             stickiness=self.config.stickiness,
@@ -263,6 +268,22 @@ class ClapPipeline:
         t0 = time.monotonic()
         recorded = self.record()
         report.time_record = time.monotonic() - t0
+        return self.reproduce_offline(recorded, report=report)
+
+    def reproduce_offline(self, recorded, report=None):
+        """Phases 2+3 only: reproduce from an already recorded execution.
+
+        ``recorded`` is anything shaped like :class:`RecordedExecution` —
+        in particular a :class:`repro.store.corpus.StoredExecution` loaded
+        from a ``.clap`` container on disk, which is how the batch service
+        reproduces failures long after the recording process is gone.
+        """
+        if report is None:
+            report = ClapReport(
+                program_name=self.program.name,
+                memory_model=self.config.memory_model,
+                solver=self.config.solver,
+            )
         report.seed = recorded.seed
         report.bug = recorded.bug
         report.log_bytes = recorded.log_size_bytes()

@@ -1,0 +1,48 @@
+"""The batch reproduction service.
+
+CLAP's offline phase is embarrassingly parallel: each recorded failure
+reproduces independently, so a corpus of traces becomes a batch of jobs.
+This package runs them across a multiprocess worker pool with the
+failure handling a long-running service needs:
+
+* :mod:`repro.service.jobs` — job specs and terminal results
+  (``reproduced`` / ``failed`` / ``timeout`` / ``crashed``);
+* :mod:`repro.service.pool` — the worker pool: per-worker task queues,
+  per-job wall-clock kills, bounded retry with exponential backoff;
+* :mod:`repro.service.batch` — the engine behind ``repro batch``:
+  corpus → jobs → JSONL result sink → aggregate stats table;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (kill-worker, slow-solve, corrupt-chunk) for testing those paths.
+"""
+
+from repro.service.batch import (
+    JsonlSink,
+    aggregate_results,
+    format_batch_table,
+    run_batch,
+    run_repro_job,
+)
+from repro.service.jobs import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_REPRODUCED,
+    STATUS_TIMEOUT,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import WorkerPool
+
+__all__ = [
+    "JsonlSink",
+    "aggregate_results",
+    "format_batch_table",
+    "run_batch",
+    "run_repro_job",
+    "STATUS_CRASHED",
+    "STATUS_FAILED",
+    "STATUS_REPRODUCED",
+    "STATUS_TIMEOUT",
+    "JobResult",
+    "JobSpec",
+    "WorkerPool",
+]

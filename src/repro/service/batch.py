@@ -1,0 +1,231 @@
+"""The batch reproduction engine: ``repro batch <corpus> [--jobs N]``.
+
+Runs the offline half of the CLAP pipeline — load trace from disk,
+symbolically re-execute, solve, replay — for every entry of a corpus
+across a :class:`~repro.service.pool.WorkerPool`.  Each terminal outcome
+is appended to a JSONL sink the moment it lands (one flushed line per
+job, so a killed batch leaves a usable results prefix — the same
+durability story as the trace container), and the run ends with an
+aggregate table: reproduced/failed/timeout/crashed counts, per-job solve
+times and the summed CDCL counters from
+:func:`repro.constraints.stats.merge_sat_stats`.
+"""
+
+import json
+import os
+import time
+
+from repro.constraints.stats import merge_sat_stats
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.service import faults as fault_hooks
+from repro.service.jobs import (
+    STATUS_FAILED,
+    STATUS_REPRODUCED,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import WorkerPool
+from repro.store.corpus import Corpus
+
+
+def run_repro_job(spec_dict, attempt=1):
+    """Execute one job inside a worker process; returns a result dict.
+
+    Every expected failure mode (damaged entry, unsat constraints,
+    replay divergence) is folded into a ``failed`` result with a reason —
+    only genuine crashes escape to the pool's retry machinery.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    fault_hooks.maybe_kill_worker(spec.faults, attempt)
+    result = JobResult(
+        entry_id=spec.entry_id,
+        status=STATUS_FAILED,
+        solver=spec.solver,
+        worker_pid=os.getpid(),
+    )
+    try:
+        corpus = Corpus.open(spec.corpus_root)
+        entry = corpus.entry(spec.entry_id)
+        result.program = entry.program_name()
+        stored = entry.load_execution()
+        result.recovered_trace = stored.recovery is not None
+        kwargs = entry.config_kwargs(solver=spec.solver)
+        if spec.memory_model:
+            kwargs["memory_model"] = spec.memory_model
+        pipeline = ClapPipeline(stored.program, ClapConfig(**kwargs))
+        fault_hooks.maybe_slow_solve(spec.faults)
+        report = pipeline.reproduce_offline(stored)
+        result.status = (
+            STATUS_REPRODUCED if report.reproduced else STATUS_FAILED
+        )
+        result.reason = report.failure_reason
+        result.time_symbolic = round(report.time_symbolic, 6)
+        result.time_solve = round(report.time_solve, 6)
+        result.context_switches = report.context_switches
+        result.n_constraints = report.n_constraints
+        result.n_variables = report.n_variables
+        result.sat_stats = report.solver_detail.get("sat_stats") or {}
+    except Exception as exc:
+        result.reason = "%s: %s" % (type(exc).__name__, exc)
+    return result.to_dict()
+
+
+class JsonlSink:
+    """Append-only JSONL result log, flushed line by line."""
+
+    def __init__(self, path):
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def write(self, record):
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self):
+        self._fh.close()
+
+    @staticmethod
+    def read(path):
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+
+def run_batch(
+    corpus_root,
+    entry_ids=None,
+    jobs=2,
+    solver="smt",
+    memory_model=None,
+    timeout=120.0,
+    max_attempts=3,
+    backoff=0.25,
+    faults_by_entry=None,
+    sink_path=None,
+    on_outcome=None,
+):
+    """Reproduce every corpus entry; returns (results, aggregate).
+
+    ``results`` is a list of :class:`JobResult` in corpus order;
+    ``aggregate`` the dict :func:`aggregate_results` builds.
+    ``faults_by_entry`` maps entry ids to fault-injection specs.
+    """
+    corpus = Corpus.open(corpus_root)
+    if entry_ids is None:
+        entry_ids = corpus.entry_ids()
+    specs = [
+        JobSpec(
+            corpus_root=corpus_root,
+            entry_id=entry_id,
+            solver=solver,
+            memory_model=memory_model,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            backoff=backoff,
+            faults=(faults_by_entry or {}).get(entry_id, {}),
+        )
+        for entry_id in entry_ids
+    ]
+    sink = JsonlSink(sink_path) if sink_path else None
+    t0 = time.monotonic()
+
+    def handle(index, outcome):
+        if sink is not None:
+            sink.write(outcome)
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+
+    pool = WorkerPool(run_repro_job, jobs=jobs)
+    try:
+        raw = pool.run([spec.to_dict() for spec in specs], on_outcome=handle)
+    finally:
+        if sink is not None:
+            sink.close()
+    results = [JobResult.from_dict(outcome) for outcome in raw]
+    aggregate = aggregate_results(results)
+    aggregate["batch_wall_time"] = round(time.monotonic() - t0, 6)
+    return results, aggregate
+
+
+def aggregate_results(results):
+    """Summarize a batch: status counts, solve times, SAT counters."""
+    by_status = {}
+    for result in results:
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+    solve_times = [
+        r.time_solve for r in results if r.status == STATUS_REPRODUCED
+    ]
+    return {
+        "jobs": len(results),
+        "by_status": by_status,
+        "reproduced": by_status.get(STATUS_REPRODUCED, 0),
+        "total_attempts": sum(r.attempts for r in results),
+        "total_solve_time": round(sum(solve_times), 6),
+        "max_solve_time": round(max(solve_times), 6) if solve_times else 0.0,
+        "sat_stats": merge_sat_stats(r.sat_stats for r in results),
+    }
+
+
+def format_batch_table(results, aggregate):
+    """Render the per-job stats table plus the aggregate footer."""
+    header = (
+        "entry",
+        "program",
+        "status",
+        "att",
+        "cs",
+        "t_sym",
+        "t_solve",
+        "t_wall",
+        "reason",
+    )
+    rows = [header]
+    for r in results:
+        rows.append(
+            (
+                r.entry_id,
+                r.program,
+                r.status + ("*" if r.recovered_trace else ""),
+                str(r.attempts),
+                str(r.context_switches) if r.context_switches >= 0 else "-",
+                "%.2f" % r.time_symbolic,
+                "%.2f" % r.time_solve,
+                "%.2f" % r.wall_time,
+                r.reason[:40],
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(
+        "%d jobs: %s in %.1fs (total solve %.2fs)"
+        % (
+            aggregate["jobs"],
+            ", ".join(
+                "%d %s" % (count, status)
+                for status, count in sorted(aggregate["by_status"].items())
+            ),
+            aggregate.get("batch_wall_time", 0.0),
+            aggregate["total_solve_time"],
+        )
+    )
+    sat = aggregate.get("sat_stats")
+    if sat:
+        lines.append(
+            "sat: "
+            + ", ".join("%s=%d" % (k, v) for k, v in sorted(sat.items()))
+        )
+    if any(r.recovered_trace for r in results):
+        lines.append("* reproduced from a crash-recovered trace")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Fault injection for exercising the batch service's failure paths.
+
+Real worker pools die in three ways: a worker crashes mid-job, a job
+hangs past its budget, and the data it reads is corrupt.  Each has a
+deterministic injection hook here so tests and CI can force the path
+instead of waiting for it:
+
+``kill_worker``
+    ``{"attempts": [1, 2]}`` — the worker calls :func:`os._exit` at the
+    start of the listed attempts (1-based).  ``os._exit`` bypasses
+    ``finally`` blocks and result reporting, exactly like a SIGKILL'd
+    process, so the pool sees a silent worker death and must retry.
+
+``slow_solve``
+    ``{"seconds": 30}`` — sleep inside the job before the solve phase,
+    driving the job over its wall-clock budget so the pool's
+    timeout-kill path fires.
+
+``corrupt_chunk``
+    Not a job-time fault: :func:`corrupt_chunk` flips one byte inside a
+    chosen chunk of a ``.clap`` container on disk (the CI job uses it to
+    prove ``corpus verify`` catches bit rot).
+"""
+
+import os
+import time
+
+from repro.store.container import ClapReader, ContainerError, flip_byte
+
+KILL_EXIT_CODE = 43
+
+
+def maybe_kill_worker(faults, attempt):
+    """Die like a SIGKILL'd worker if this attempt is marked for death."""
+    spec = (faults or {}).get("kill_worker")
+    if spec and attempt in spec.get("attempts", []):
+        os._exit(KILL_EXIT_CODE)
+
+
+def maybe_slow_solve(faults):
+    """Stall before solving so the job blows its wall-clock budget."""
+    spec = (faults or {}).get("slow_solve")
+    if spec:
+        time.sleep(float(spec.get("seconds", 60.0)))
+
+
+def corrupt_chunk(trace_path, chunk_index=0, mask=0x01):
+    """Flip one byte inside chunk ``chunk_index``'s compressed payload.
+
+    Returns the absolute file offset that was flipped.  The flip lands in
+    the chunk body (past the header varints), so the chunk's CRC check —
+    not a lucky parse error — is what must catch it.
+    """
+    reader = ClapReader.open(trace_path)
+    if not reader.chunks:
+        raise ContainerError("%s has no chunks to corrupt" % trace_path)
+    chunk = reader.chunks[chunk_index]
+    # Last byte before the CRC trailer: always inside the zlib payload.
+    offset = chunk.offset + chunk.size - 5
+    flip_byte(trace_path, offset, mask=mask)
+    return offset

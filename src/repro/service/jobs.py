@@ -1,0 +1,91 @@
+"""Job and result records for the batch reproduction service.
+
+A :class:`JobSpec` names one corpus entry plus everything a worker needs
+to reproduce it — solver choice, wall-clock budget, retry policy and
+fault-injection hooks.  Specs cross the process boundary as plain dicts
+(:meth:`JobSpec.to_dict` / :meth:`JobSpec.from_dict`) so the pool never
+pickles live pipeline objects.
+
+A :class:`JobResult` is one terminal outcome.  ``status`` is one of:
+
+``reproduced``
+    The offline pipeline solved the constraints and the replay hit the
+    same failure.
+``failed``
+    The pipeline ran to completion but did not reproduce (unsat solver,
+    replay divergence, unrecoverable trace, …); ``reason`` says why.
+``timeout``
+    The job exceeded its wall-clock budget and its worker was killed.
+    Terminal: re-running the same deterministic solve would time out
+    again.
+``crashed``
+    The worker process died mid-job (real bug or injected fault) and
+    every retry was exhausted.
+"""
+
+from dataclasses import asdict, dataclass, field
+
+STATUS_REPRODUCED = "reproduced"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+
+
+@dataclass
+class JobSpec:
+    """One unit of batch work: reproduce one corpus entry."""
+
+    corpus_root: str
+    entry_id: str
+    solver: str = "smt"
+    # None -> use the entry's recorded memory model.
+    memory_model: str = None
+    timeout: float = 120.0
+    max_attempts: int = 3
+    # Exponential backoff base: retry n sleeps backoff * 2**(n-1) seconds.
+    backoff: float = 0.25
+    # Fault injection (see repro.service.faults), e.g.
+    # {"kill_worker": {"attempts": [1]}, "slow_solve": {"seconds": 5}}.
+    faults: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass
+class JobResult:
+    """The terminal outcome of one job (one line in the JSONL sink)."""
+
+    entry_id: str
+    status: str
+    program: str = ""
+    solver: str = ""
+    attempts: int = 1
+    reason: str = ""
+    # Wall-clock across all attempts, as seen by the pool.
+    wall_time: float = 0.0
+    # Pipeline phase times from the successful attempt.
+    time_symbolic: float = 0.0
+    time_solve: float = 0.0
+    context_switches: int = -1
+    n_constraints: int = 0
+    n_variables: int = 0
+    recovered_trace: bool = False
+    sat_stats: dict = field(default_factory=dict)
+    worker_pid: int = 0
+
+    @property
+    def ok(self):
+        return self.status == STATUS_REPRODUCED
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})

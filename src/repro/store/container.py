@@ -1,0 +1,397 @@
+"""The ``.clap`` on-disk trace container.
+
+A container holds every thread's :mod:`repro.tracing.logfmt` token stream
+of one recorded execution, split into self-describing chunks so a crashed
+recorder leaves a usable prefix:
+
+::
+
+    file   := HEADER chunk* footer?
+    HEADER := b"CLAPTRC1"
+    chunk  := 0xC5  varint(name_len) name  varint(flags)
+              varint(n_tokens) varint(raw_len) varint(comp_len)
+              comp_bytes  crc32_le32
+    footer := 0xF7  varint(payload_len)  payload  crc32_le32(payload)
+              le32(footer_size)  b"CLAPEND1"
+
+``comp_bytes`` is the zlib compression of ``raw_len`` bytes of logfmt
+encoding for ``n_tokens`` tokens of thread ``name``; the CRC covers the
+chunk from its marker byte through ``comp_bytes``, so any torn or
+bit-flipped write is detected.  Chunks of different threads interleave in
+flush order.  The footer payload is a varint-encoded index (thread name
+table, per-chunk ``(name, offset, size, n_tokens, flags)`` records) plus
+a JSON metadata blob; ``footer_size`` counts from the 0xF7 marker through
+the payload CRC so a reader can locate the footer from the end of the
+file without scanning.
+
+Durability invariant: the writer flushes after every chunk and only
+writes the footer on a clean :meth:`ClapWriter.close`.  A file that ends
+without ``CLAPEND1`` is *truncated but not lost* — every chunk whose CRC
+checks out is valid, and :mod:`repro.store.recover` reconstructs a
+decodable trace from that prefix.
+"""
+
+import json
+import os
+import struct
+import zlib
+
+from repro.tracing.logfmt import (
+    TraceDecodeError,
+    decode_tokens,
+    encode_tokens,
+    read_varint,
+    write_varint,
+)
+
+MAGIC = b"CLAPTRC1"
+END_MAGIC = b"CLAPEND1"
+CHUNK_MARKER = 0xC5
+FOOTER_MARKER = 0xF7
+
+# Chunk flags.
+CHUNK_FINAL = 1  # flushed by finalize(): contains the thread's log tail
+CHUNK_RECOVERED = 2  # rewritten by recovery with synthesized partial tokens
+
+FORMAT_VERSION = 1
+
+
+class ContainerError(Exception):
+    """A structural problem with a ``.clap`` file."""
+
+
+class ChunkInfo:
+    """One parsed chunk: header fields plus the raw (still encoded) bytes."""
+
+    __slots__ = ("offset", "size", "thread", "flags", "n_tokens", "raw")
+
+    def __init__(self, offset, size, thread, flags, n_tokens, raw):
+        self.offset = offset
+        self.size = size
+        self.thread = thread
+        self.flags = flags
+        self.n_tokens = n_tokens
+        self.raw = raw
+
+    def tokens(self):
+        return decode_tokens(self.raw)
+
+    def __repr__(self):
+        return "ChunkInfo(@%d %s %d tokens, flags=%d)" % (
+            self.offset,
+            self.thread,
+            self.n_tokens,
+            self.flags,
+        )
+
+
+class ClapWriter:
+    """Streaming ``.clap`` writer: every chunk is durable once written."""
+
+    def __init__(self, path, compress_level=6):
+        self.path = path
+        self.compress_level = compress_level
+        self._fh = open(path, "wb")
+        self._fh.write(MAGIC)
+        self._fh.flush()
+        self._chunks = []  # (thread, offset, size, n_tokens, flags)
+        self._closed = False
+
+    def write_chunk(self, thread, tokens, final=False, flags=0):
+        """Append one chunk of ``tokens`` for ``thread`` and flush it."""
+        if self._closed:
+            raise ContainerError("writer for %s is closed" % self.path)
+        if not tokens:
+            return
+        if final:
+            flags |= CHUNK_FINAL
+        raw = encode_tokens(tokens)
+        comp = zlib.compress(raw, self.compress_level)
+        chunk = bytearray()
+        chunk.append(CHUNK_MARKER)
+        name = thread.encode("utf-8")
+        write_varint(chunk, len(name))
+        chunk.extend(name)
+        write_varint(chunk, flags)
+        write_varint(chunk, len(tokens))
+        write_varint(chunk, len(raw))
+        write_varint(chunk, len(comp))
+        chunk.extend(comp)
+        chunk.extend(struct.pack("<I", zlib.crc32(bytes(chunk)) & 0xFFFFFFFF))
+        offset = self._fh.tell()
+        self._fh.write(chunk)
+        self._fh.flush()
+        self._chunks.append((thread, offset, len(chunk), len(tokens), flags))
+
+    def close(self, meta=None):
+        """Write the varint-indexed footer and close the file."""
+        if self._closed:
+            return
+        names = []
+        name_idx = {}
+        for thread, _, _, _, _ in self._chunks:
+            if thread not in name_idx:
+                name_idx[thread] = len(names)
+                names.append(thread)
+        payload = bytearray()
+        write_varint(payload, len(names))
+        for name in names:
+            raw = name.encode("utf-8")
+            write_varint(payload, len(raw))
+            payload.extend(raw)
+        write_varint(payload, len(self._chunks))
+        for thread, offset, size, n_tokens, flags in self._chunks:
+            write_varint(payload, name_idx[thread])
+            write_varint(payload, offset)
+            write_varint(payload, size)
+            write_varint(payload, n_tokens)
+            write_varint(payload, flags)
+        meta_bytes = json.dumps(
+            dict(meta or {}, format=FORMAT_VERSION), sort_keys=True
+        ).encode("utf-8")
+        write_varint(payload, len(meta_bytes))
+        payload.extend(meta_bytes)
+
+        footer = bytearray()
+        footer.append(FOOTER_MARKER)
+        write_varint(footer, len(payload))
+        footer.extend(payload)
+        footer.extend(struct.pack("<I", zlib.crc32(bytes(payload)) & 0xFFFFFFFF))
+        self._fh.write(footer)
+        self._fh.write(struct.pack("<I", len(footer)))
+        self._fh.write(END_MAGIC)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._closed = True
+
+    # Convenience: ``with ClapWriter(...) as w`` closes with empty meta on
+    # success and leaves a truncated-but-recoverable file on error.
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.close()
+        else:
+            self._fh.close()
+            self._closed = True
+        return False
+
+
+def _parse_chunk(data, pos):
+    """Parse one chunk at ``pos``; returns (ChunkInfo, new_pos).
+
+    Raises :class:`ContainerError` when the bytes at ``pos`` are not a
+    complete, CRC-valid chunk (truncation or corruption).
+    """
+    start = pos
+    n = len(data)
+    if data[pos] != CHUNK_MARKER:
+        raise ContainerError("no chunk marker at offset %d" % pos)
+    pos += 1
+    try:
+        name_len, pos = read_varint(data, pos)
+        if pos + name_len > n:
+            raise ContainerError("truncated thread name at offset %d" % pos)
+        thread = data[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        flags, pos = read_varint(data, pos)
+        n_tokens, pos = read_varint(data, pos)
+        raw_len, pos = read_varint(data, pos)
+        comp_len, pos = read_varint(data, pos)
+    except TraceDecodeError as exc:
+        raise ContainerError(
+            "truncated chunk header at offset %d" % start
+        ) from exc
+    if pos + comp_len + 4 > n:
+        raise ContainerError("truncated chunk body at offset %d" % start)
+    comp = data[pos : pos + comp_len]
+    pos += comp_len
+    (crc,) = struct.unpack("<I", data[pos : pos + 4])
+    pos += 4
+    if zlib.crc32(data[start : pos - 4]) & 0xFFFFFFFF != crc:
+        raise ContainerError("chunk CRC mismatch at offset %d" % start)
+    try:
+        raw = zlib.decompress(comp)
+    except zlib.error as exc:
+        raise ContainerError(
+            "chunk at offset %d does not decompress: %s" % (start, exc)
+        ) from exc
+    if len(raw) != raw_len:
+        raise ContainerError(
+            "chunk at offset %d: raw length %d != declared %d"
+            % (start, len(raw), raw_len)
+        )
+    return ChunkInfo(start, pos - start, thread, flags, n_tokens, raw), pos
+
+
+def _parse_footer(data):
+    """Parse the footer if present and valid.
+
+    Returns ``(index, meta, footer_offset)`` or ``(None, None, None)``;
+    ``index`` is a list of (thread, offset, size, n_tokens, flags).
+    """
+    if len(data) < len(MAGIC) + 4 + len(END_MAGIC):
+        return None, None, None
+    if data[-len(END_MAGIC) :] != END_MAGIC:
+        return None, None, None
+    (footer_size,) = struct.unpack(
+        "<I", data[-len(END_MAGIC) - 4 : -len(END_MAGIC)]
+    )
+    footer_off = len(data) - len(END_MAGIC) - 4 - footer_size
+    if footer_off < len(MAGIC) or data[footer_off] != FOOTER_MARKER:
+        return None, None, None
+    try:
+        payload_len, pos = read_varint(data, footer_off + 1)
+        payload = data[pos : pos + payload_len]
+        if len(payload) != payload_len:
+            return None, None, None
+        (crc,) = struct.unpack("<I", data[pos + payload_len : pos + payload_len + 4])
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return None, None, None
+        names = []
+        p = 0
+        n_names, p = read_varint(payload, p)
+        for _ in range(n_names):
+            ln, p = read_varint(payload, p)
+            names.append(payload[p : p + ln].decode("utf-8"))
+            p += ln
+        index = []
+        n_chunks, p = read_varint(payload, p)
+        for _ in range(n_chunks):
+            idx, p = read_varint(payload, p)
+            offset, p = read_varint(payload, p)
+            size, p = read_varint(payload, p)
+            n_tokens, p = read_varint(payload, p)
+            flags, p = read_varint(payload, p)
+            index.append((names[idx], offset, size, n_tokens, flags))
+        meta_len, p = read_varint(payload, p)
+        meta = json.loads(payload[p : p + meta_len].decode("utf-8"))
+    except (TraceDecodeError, IndexError, ValueError, UnicodeDecodeError):
+        return None, None, None
+    return index, meta, footer_off
+
+
+class ClapReader:
+    """A parsed ``.clap`` file: valid chunks, footer state, problems.
+
+    ``complete`` is True only when the footer is present and consistent
+    and every chunk parses with a valid CRC; otherwise ``problems`` lists
+    what is wrong and ``chunks`` holds the valid prefix (the input to
+    recovery).
+    """
+
+    def __init__(self, path, chunks, meta, complete, problems):
+        self.path = path
+        self.chunks = chunks
+        self.meta = meta or {}
+        self.complete = complete
+        self.problems = problems
+
+    @classmethod
+    def open(cls, path):
+        with open(path, "rb") as fh:
+            data = fh.read()
+        problems = []
+        if data[: len(MAGIC)] != MAGIC:
+            return cls(path, [], {}, False, ["bad magic (not a .clap file)"])
+        index, meta, footer_off = _parse_footer(data)
+        end = footer_off if footer_off is not None else len(data)
+        chunks = []
+        pos = len(MAGIC)
+        while pos < end:
+            if data[pos] == FOOTER_MARKER:
+                # A footer marker before the indexed footer position: only
+                # legal when the footer failed to parse (end == len(data)).
+                break
+            try:
+                chunk, pos = _parse_chunk(data, pos)
+            except ContainerError as exc:
+                problems.append(str(exc))
+                break
+            chunks.append(chunk)
+        if index is None:
+            problems.append("footer missing or invalid (truncated write?)")
+        else:
+            recorded = [
+                (c.thread, c.offset, c.size, c.n_tokens, c.flags) for c in chunks
+            ]
+            if recorded != index:
+                problems.append("footer index does not match chunk scan")
+        # Token streams must decode at the logfmt level chunk by chunk.
+        for chunk in chunks:
+            try:
+                tokens = chunk.tokens()
+            except TraceDecodeError as exc:
+                problems.append(
+                    "chunk at offset %d: %s" % (chunk.offset, exc)
+                )
+                continue
+            if len(tokens) != chunk.n_tokens:
+                problems.append(
+                    "chunk at offset %d: %d tokens != declared %d"
+                    % (chunk.offset, len(tokens), chunk.n_tokens)
+                )
+        return cls(path, chunks, meta, not problems, problems)
+
+    def thread_tokens(self):
+        """Concatenate every valid chunk's tokens per thread, in file order."""
+        logs = {}
+        for chunk in self.chunks:
+            try:
+                tokens = chunk.tokens()
+            except TraceDecodeError:
+                continue
+            logs.setdefault(chunk.thread, []).extend(tokens)
+        return logs
+
+    def threads(self):
+        return sorted({c.thread for c in self.chunks})
+
+
+def read_meta(path):
+    """Read only the footer metadata (fast path; None when unavailable)."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    _, meta, _ = _parse_footer(data)
+    return meta
+
+
+def compact_container(src, dst, compress_level=9):
+    """Rewrite ``src`` with one maximally-compressed chunk per thread.
+
+    Interim streaming chunks are merged, so the rewritten file trades the
+    crash-recoverable chunk granularity for minimum size — the right
+    trade once an entry is archived.  Returns (old_size, new_size).
+    """
+    reader = ClapReader.open(src)
+    if not reader.complete:
+        raise ContainerError(
+            "refusing to compact damaged container %s: %s"
+            % (src, "; ".join(reader.problems))
+        )
+    logs = reader.thread_tokens()
+    flags_by_thread = {}
+    for chunk in reader.chunks:
+        flags_by_thread[chunk.thread] = chunk.flags
+    writer = ClapWriter(dst, compress_level=compress_level)
+    for thread in sorted(logs):
+        final = bool(flags_by_thread.get(thread, 0) & CHUNK_FINAL)
+        writer.write_chunk(thread, logs[thread], final=final)
+    meta = dict(reader.meta)
+    meta.pop("format", None)
+    writer.close(meta=meta)
+    return os.path.getsize(src), os.path.getsize(dst)
+
+
+def flip_byte(path, offset, mask=0x01):
+    """XOR one byte in place — corruption injection for tests and CI."""
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        if not byte:
+            raise ValueError("offset %d beyond end of %s" % (offset, path))
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ mask]))
+        fh.flush()

@@ -1,0 +1,460 @@
+"""The trace corpus: a directory of durable recorded failures.
+
+Layout::
+
+    corpus/
+      corpus.json                 # {"format": 1} corpus marker
+      entries/
+        <entry-id>/
+          manifest.json           # program source+hash, record params,
+                                  # bug report, record-overhead stats
+          trace.clap              # the .clap trace container
+
+An entry is *self-contained*: its manifest carries the MiniLang source
+and every scheduler parameter of the recorded run, so the batch service
+can recompile the program and reproduce the failure from disk alone —
+long after the recording process (and machine) is gone.
+
+``Corpus.add`` records twice on purpose: a first in-memory record finds
+the failing seed, then the same seed is re-run with a
+:class:`~repro.tracing.recorder.StreamingTraceSink` feeding a
+:class:`~repro.store.container.ClapWriter`, so the bytes on disk come
+from a genuine chunk-by-chunk streaming write (the crash-durability
+path), not a post-hoc dump.  The two runs' logs are compared token for
+token; any divergence means the scheduler is not deterministic and the
+entry is refused rather than silently stored wrong.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from repro.analysis.escape import shared_variables
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.minilang import compile_source
+from repro.runtime.events import BugReport
+from repro.store.container import (
+    CHUNK_RECOVERED,
+    ClapReader,
+    ClapWriter,
+    compact_container,
+)
+from repro.store.recover import recover_tokens
+from repro.tracing.ball_larus import ProgramPaths
+from repro.tracing.logfmt import encode_tokens
+from repro.tracing.recorder import StreamingTraceSink
+
+CORPUS_FORMAT = 1
+MANIFEST_FORMAT = 1
+
+# ClapConfig fields a manifest persists; everything else (solver choice,
+# time budgets) is a *reproduction-time* decision, not a property of the
+# recorded execution.
+_RECORD_PARAMS = (
+    "memory_model",
+    "stickiness",
+    "flush_prob",
+    "max_steps",
+    "max_cs",
+    "pin_observed_reads",
+)
+
+
+class CorpusError(Exception):
+    """A structural problem with a corpus directory or entry."""
+
+
+def _sha256(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class StoredTrace:
+    """Duck-types a finalized PathRecorder for :func:`decode_log`."""
+
+    def __init__(self, logs, paths, func_names):
+        self.logs = logs
+        self.paths = paths
+        self.func_names = func_names
+
+    def log_size_bytes(self):
+        return sum(
+            len(encode_tokens(tokens)) for tokens in self.logs.values()
+        )
+
+
+class _StoredResult:
+    """Duck-types ExecutionResult from manifest stats.
+
+    ``saps_by_thread`` is empty: runtime SAP values are not persisted
+    (CLAP never records them), so observed-read pinning degrades to a
+    no-op for stored executions — exactly the paper's constraint that
+    only control flow survives the crash.
+    """
+
+    def __init__(self, bug, stats):
+        self.bug = bug
+        self.thread_names = {
+            i: name for i, name in enumerate(stats.get("thread_names", []))
+        }
+        self.saps_by_thread = {}
+        self._stats = stats
+
+    def total_instructions(self):
+        return self._stats.get("n_instructions", 0)
+
+    def total_branches(self):
+        return self._stats.get("n_branches", 0)
+
+    def total_saps(self):
+        return self._stats.get("n_saps", 0)
+
+
+class StoredExecution:
+    """A recorded execution reloaded from a corpus entry.
+
+    Shaped like :class:`repro.core.clap.RecordedExecution`, so it feeds
+    straight into :meth:`ClapPipeline.reproduce_offline`.
+    """
+
+    def __init__(self, entry_id, program, seed, bug, logs, paths, stats,
+                 recovery=None):
+        self.entry_id = entry_id
+        self.program = program
+        self.seed = seed
+        self.shared = shared_variables(program)
+        func_ids = {
+            name: i for i, name in enumerate(sorted(program.functions))
+        }
+        func_names = {i: name for name, i in func_ids.items()}
+        self.recorder = StoredTrace(logs, paths, func_names)
+        self.result = _StoredResult(bug, stats)
+        # RecoveryReport when the container needed crash recovery.
+        self.recovery = recovery
+
+    @property
+    def bug(self):
+        return self.result.bug
+
+    def log_size_bytes(self):
+        return self.recorder.log_size_bytes()
+
+
+class CorpusEntry:
+    """One recorded failure: ``manifest.json`` + ``trace.clap``."""
+
+    def __init__(self, path):
+        self.path = path
+        self.entry_id = os.path.basename(os.path.normpath(path))
+        self.manifest_path = os.path.join(path, "manifest.json")
+        self.trace_path = os.path.join(path, "trace.clap")
+        self._manifest = None
+
+    @property
+    def manifest(self):
+        if self._manifest is None:
+            try:
+                with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                    self._manifest = json.load(fh)
+            except (OSError, ValueError) as exc:
+                raise CorpusError(
+                    "entry %s: unreadable manifest: %s" % (self.entry_id, exc)
+                ) from exc
+        return self._manifest
+
+    def _write_manifest(self, manifest):
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.manifest_path)
+        self._manifest = manifest
+
+    # -- introspection ---------------------------------------------------
+
+    def program_name(self):
+        return self.manifest["program"]["name"]
+
+    def bug(self):
+        raw = self.manifest.get("bug")
+        if raw is None:
+            return None
+        return BugReport(
+            kind=raw.get("kind", "assertion"),
+            message=raw.get("message", ""),
+            thread=raw.get("thread", ""),
+            line=raw.get("line", 0),
+        )
+
+    def compile_program(self):
+        prog = self.manifest["program"]
+        if _sha256(prog["source"]) != prog["sha256"]:
+            raise CorpusError(
+                "entry %s: program source does not match its recorded hash"
+                % self.entry_id
+            )
+        return compile_source(prog["source"], name=prog["name"])
+
+    def config_kwargs(self, **overrides):
+        """ClapConfig kwargs reproducing this entry's recorded setup."""
+        kwargs = {
+            key: self.manifest["record"][key]
+            for key in _RECORD_PARAMS
+            if key in self.manifest["record"]
+        }
+        kwargs.update(overrides)
+        return kwargs
+
+    # -- operations ------------------------------------------------------
+
+    def verify(self):
+        """Check the container end to end; returns (ok, problems)."""
+        problems = []
+        try:
+            manifest = self.manifest
+        except CorpusError as exc:
+            return False, [str(exc)]
+        if not os.path.exists(self.trace_path):
+            return False, ["trace.clap missing"]
+        prog = manifest.get("program", {})
+        if _sha256(prog.get("source", "")) != prog.get("sha256"):
+            problems.append("program source hash mismatch")
+        reader = ClapReader.open(self.trace_path)
+        problems.extend(reader.problems)
+        return not problems, problems
+
+    def load_execution(self, allow_recover=True):
+        """Reload the recorded execution; recovers truncated traces.
+
+        A container with a valid footer loads directly; a truncated one
+        (crashed recorder) goes through :func:`recover_tokens` when
+        ``allow_recover`` is set.  Returns a :class:`StoredExecution`.
+        """
+        program = self.compile_program()
+        paths = ProgramPaths.build(program)
+        reader = ClapReader.open(self.trace_path)
+        bug = self.bug()
+        recovery = None
+        if reader.complete or self.manifest.get("recovered"):
+            logs = reader.thread_tokens()
+        elif allow_recover:
+            logs, recovery = recover_tokens(
+                reader.thread_tokens(), program, paths=paths, bug=bug
+            )
+            if not logs:
+                raise CorpusError(
+                    "entry %s: no thread survived recovery (%s)"
+                    % (self.entry_id, recovery.summary())
+                )
+        else:
+            raise CorpusError(
+                "entry %s: damaged container: %s"
+                % (self.entry_id, "; ".join(reader.problems))
+            )
+        return StoredExecution(
+            entry_id=self.entry_id,
+            program=program,
+            seed=self.manifest["record"]["seed"],
+            bug=bug,
+            logs=logs,
+            paths=paths,
+            stats=self.manifest.get("stats", {}),
+            recovery=recovery,
+        )
+
+    def recover(self):
+        """Rewrite a truncated container as a complete, recovered one.
+
+        Returns the :class:`~repro.store.recover.RecoveryReport`.  The
+        rewritten chunks carry ``CHUNK_RECOVERED`` and the manifest gains
+        ``recovered: true`` so later loads skip re-recovery.
+        """
+        reader = ClapReader.open(self.trace_path)
+        if reader.complete:
+            raise CorpusError(
+                "entry %s: container is complete; nothing to recover"
+                % self.entry_id
+            )
+        program = self.compile_program()
+        paths = ProgramPaths.build(program)
+        logs, report = recover_tokens(
+            reader.thread_tokens(), program, paths=paths, bug=self.bug()
+        )
+        if not logs:
+            raise CorpusError(
+                "entry %s: no thread survived recovery (%s)"
+                % (self.entry_id, report.summary())
+            )
+        tmp = self.trace_path + ".tmp"
+        writer = ClapWriter(tmp)
+        for thread in sorted(logs):
+            writer.write_chunk(
+                thread, logs[thread], final=True, flags=CHUNK_RECOVERED
+            )
+        meta = dict(reader.meta)
+        meta.pop("format", None)
+        meta["recovered"] = report.summary()
+        writer.close(meta=meta)
+        os.replace(tmp, self.trace_path)
+        manifest = dict(self.manifest)
+        manifest["recovered"] = True
+        manifest["recovery"] = {
+            "trimmed_tokens": report.trimmed_tokens,
+            "synthesized_partials": report.synthesized_partials,
+            "dropped_threads": report.dropped_threads,
+            "validated": report.validated,
+            "notes": report.notes,
+        }
+        self._write_manifest(manifest)
+        return report
+
+    def compact(self):
+        """Merge streaming chunks; returns (old_size, new_size)."""
+        tmp = self.trace_path + ".tmp"
+        old, new = compact_container(self.trace_path, tmp)
+        os.replace(tmp, self.trace_path)
+        return old, new
+
+
+class Corpus:
+    """A directory of corpus entries."""
+
+    def __init__(self, root):
+        self.root = root
+        self.entries_dir = os.path.join(root, "entries")
+
+    @classmethod
+    def create(cls, root):
+        os.makedirs(os.path.join(root, "entries"), exist_ok=True)
+        marker = os.path.join(root, "corpus.json")
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as fh:
+                json.dump({"format": CORPUS_FORMAT}, fh)
+                fh.write("\n")
+        return cls(root)
+
+    @classmethod
+    def open(cls, root):
+        marker = os.path.join(root, "corpus.json")
+        if not os.path.isfile(marker):
+            raise CorpusError("%s is not a corpus (no corpus.json)" % root)
+        with open(marker, "r", encoding="utf-8") as fh:
+            info = json.load(fh)
+        if info.get("format") != CORPUS_FORMAT:
+            raise CorpusError(
+                "%s: unsupported corpus format %r" % (root, info.get("format"))
+            )
+        return cls(root)
+
+    @classmethod
+    def open_or_create(cls, root):
+        if os.path.isfile(os.path.join(root, "corpus.json")):
+            return cls.open(root)
+        return cls.create(root)
+
+    def entry_ids(self):
+        if not os.path.isdir(self.entries_dir):
+            return []
+        return sorted(
+            name
+            for name in os.listdir(self.entries_dir)
+            if os.path.isfile(
+                os.path.join(self.entries_dir, name, "manifest.json")
+            )
+        )
+
+    def entries(self):
+        return [self.entry(entry_id) for entry_id in self.entry_ids()]
+
+    def entry(self, entry_id):
+        path = os.path.join(self.entries_dir, entry_id)
+        if not os.path.isfile(os.path.join(path, "manifest.json")):
+            raise CorpusError("no corpus entry %s" % entry_id)
+        return CorpusEntry(path)
+
+    # -- adding ----------------------------------------------------------
+
+    def add(self, source, name=None, config=None, entry_id=None,
+            flush_every=16):
+        """Record one failure of ``source`` and persist it as an entry.
+
+        ``config`` is a :class:`~repro.core.clap.ClapConfig` (or None for
+        defaults); ``flush_every`` is the streaming sink's chunk
+        granularity in tokens.  Returns the new :class:`CorpusEntry`.
+        """
+        if not isinstance(source, str):
+            raise CorpusError(
+                "corpus entries need the program source text to be "
+                "self-contained; pass MiniLang source, not a compiled program"
+            )
+        program = compile_source(source, name=name)
+        config = config or ClapConfig()
+        pipeline = ClapPipeline(program, config)
+        t0 = time.monotonic()
+        recorded = pipeline.record()
+        time_record = time.monotonic() - t0
+
+        sha = _sha256(source)
+        if entry_id is None:
+            entry_id = "%s-s%d-%s" % (program.name, recorded.seed, sha[:8])
+        entry_path = os.path.join(self.entries_dir, entry_id)
+        if os.path.exists(entry_path):
+            raise CorpusError("corpus entry %s already exists" % entry_id)
+        os.makedirs(entry_path)
+        entry = CorpusEntry(entry_path)
+
+        # Genuine streaming write: re-run the failing seed with the
+        # recorder flushing chunk by chunk into the container, then check
+        # the durable bytes describe the very same execution.
+        writer = ClapWriter(entry.trace_path)
+        sink = StreamingTraceSink(writer, flush_every=flush_every)
+        streamed = pipeline.record_once(recorded.seed, sink=sink)
+        writer.close(
+            meta={
+                "entry": entry_id,
+                "program": program.name,
+                "seed": recorded.seed,
+            }
+        )
+        same_bug = recorded.bug is not None and recorded.bug.same_failure(
+            streamed.bug
+        )
+        if not same_bug or streamed.recorder.logs != recorded.recorder.logs:
+            raise CorpusError(
+                "seed %d replayed differently while streaming to disk; "
+                "refusing to store a non-deterministic recording"
+                % recorded.seed
+            )
+
+        result = recorded.result
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "entry_id": entry_id,
+            "program": {
+                "name": program.name,
+                "source": source,
+                "sha256": sha,
+            },
+            "record": dict(
+                {key: getattr(config, key) for key in _RECORD_PARAMS},
+                seed=recorded.seed,
+            ),
+            "bug": {
+                "kind": recorded.bug.kind,
+                "message": recorded.bug.message,
+                "thread": recorded.bug.thread,
+                "line": recorded.bug.line,
+            },
+            "stats": {
+                "thread_names": sorted(result.thread_names.values()),
+                "n_instructions": result.total_instructions(),
+                "n_branches": result.total_branches(),
+                "n_saps": result.total_saps(),
+                "log_bytes": recorded.log_size_bytes(),
+                "instrumentation_ops": recorded.recorder.instrumentation_ops,
+                "time_record": time_record,
+            },
+            "recovered": False,
+        }
+        entry._write_manifest(manifest)
+        return entry

@@ -15,16 +15,18 @@
 from repro.tracing.ball_larus import BallLarus, ProgramPaths
 from repro.tracing.decoder import DecodedThreadPath, decode_log
 from repro.tracing.leap import LeapRecorder
-from repro.tracing.logfmt import decode_tokens, encode_tokens
-from repro.tracing.recorder import PathRecorder
+from repro.tracing.logfmt import TraceDecodeError, decode_tokens, encode_tokens
+from repro.tracing.recorder import PathRecorder, StreamingTraceSink
 
 __all__ = [
     "BallLarus",
     "ProgramPaths",
     "PathRecorder",
+    "StreamingTraceSink",
     "DecodedThreadPath",
     "decode_log",
     "LeapRecorder",
     "encode_tokens",
     "decode_tokens",
+    "TraceDecodeError",
 ]

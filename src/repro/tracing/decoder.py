@@ -48,7 +48,15 @@ class DecodedThreadPath:
 
 
 class LogDecodeError(Exception):
-    pass
+    """A token stream is structurally inconsistent with its program.
+
+    ``thread`` names the offending thread when known (used by the trace
+    store's recovery validation).
+    """
+
+    def __init__(self, message, thread=None):
+        super().__init__(message)
+        self.thread = thread
 
 
 def decode_thread_tokens(thread_name, tokens, paths, func_names):
@@ -79,7 +87,8 @@ def decode_thread_tokens(thread_name, tokens, paths, func_names):
             else:
                 raise LogDecodeError(
                     "thread %s: resume token outside the open frame stack"
-                    % thread_name
+                    % thread_name,
+                    thread=thread_name,
                 )
             stack.append(node)
             continue
@@ -92,12 +101,16 @@ def decode_thread_tokens(thread_name, tokens, paths, func_names):
                 root = node
             else:
                 raise LogDecodeError(
-                    "thread %s: second root activation in log" % thread_name
+                    "thread %s: second root activation in log" % thread_name,
+                    thread=thread_name,
                 )
             stack.append(node)
         elif kind == "path":
             if not stack:
-                raise LogDecodeError("thread %s: path token outside frame" % thread_name)
+                raise LogDecodeError(
+                    "thread %s: path token outside frame" % thread_name,
+                    thread=thread_name,
+                )
             node = stack[-1]
             if node._pending_resume:
                 node._pending_resume = False
@@ -110,12 +123,16 @@ def decode_thread_tokens(thread_name, tokens, paths, func_names):
                 node.blocks.extend(blocks)
         elif kind == "exit":
             if not stack:
-                raise LogDecodeError("thread %s: exit token outside frame" % thread_name)
+                raise LogDecodeError(
+                    "thread %s: exit token outside frame" % thread_name,
+                    thread=thread_name,
+                )
             stack.pop().complete = True
         elif kind == "partial":
             if not stack:
                 raise LogDecodeError(
-                    "thread %s: partial token outside frame" % thread_name
+                    "thread %s: partial token outside frame" % thread_name,
+                    thread=thread_name,
                 )
             node = stack.pop()
             _, path_id, stop_block, stop_ip, wait_stage = token
@@ -133,13 +150,18 @@ def decode_thread_tokens(thread_name, tokens, paths, func_names):
             node.stop_ip = stop_ip
             node.wait_stage = wait_stage
         else:
-            raise LogDecodeError("unknown token %r" % (token,))
+            raise LogDecodeError(
+                "unknown token %r" % (token,), thread=thread_name
+            )
     if root is None:
-        raise LogDecodeError("thread %s: empty log" % thread_name)
+        raise LogDecodeError(
+            "thread %s: empty log" % thread_name, thread=thread_name
+        )
     if stack:
         raise LogDecodeError(
             "thread %s: %d frames left open without partial tokens"
-            % (thread_name, len(stack))
+            % (thread_name, len(stack)),
+            thread=thread_name,
         )
     return DecodedThreadPath(thread=thread_name, root=root)
 

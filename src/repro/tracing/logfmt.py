@@ -44,6 +44,22 @@ _TOKEN_TAGS = {
 _TAG_TOKENS = {v: k for k, v in _TOKEN_TAGS.items()}
 
 
+class TraceDecodeError(Exception):
+    """A log byte stream is not a valid encoding.
+
+    ``offset`` is the byte position where decoding failed: for a truncated
+    varint it is the offset of the first missing byte, for an unknown tag
+    the offset of the tag byte itself.  The trace store's recovery scan
+    relies on this being raised (rather than ``IndexError`` or silently
+    mis-decoded tokens) to find the valid prefix of a crashed recorder's
+    log.
+    """
+
+    def __init__(self, message, offset=None):
+        super().__init__(message)
+        self.offset = offset
+
+
 def write_varint(out, value):
     """Append unsigned LEB128 of ``value`` (must be >= 0) to bytearray."""
     if value < 0:
@@ -59,10 +75,20 @@ def write_varint(out, value):
 
 
 def read_varint(data, pos):
-    """Decode unsigned LEB128 at ``pos``; returns (value, new_pos)."""
+    """Decode unsigned LEB128 at ``pos``; returns (value, new_pos).
+
+    Raises :class:`TraceDecodeError` (with the offset of the missing byte)
+    when the varint runs past the end of ``data`` — a truncated log must
+    surface as a structured error, never as ``IndexError``.
+    """
     result = 0
     shift = 0
+    n = len(data)
     while True:
+        if pos >= n:
+            raise TraceDecodeError(
+                "truncated varint at offset %d" % pos, offset=pos
+            )
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -98,11 +124,16 @@ def encode_tokens(tokens):
 
 
 def decode_tokens(data):
-    """Decode bytes produced by :func:`encode_tokens`."""
+    """Decode bytes produced by :func:`encode_tokens`.
+
+    Raises :class:`TraceDecodeError` on an unknown tag byte or a truncated
+    stream; a valid prefix is never silently extended with garbage tokens.
+    """
     tokens = []
     pos = 0
     n = len(data)
     while pos < n:
+        tag_offset = pos
         tag = data[pos]
         pos += 1
         kind = _TAG_TOKENS.get(tag)
@@ -124,10 +155,15 @@ def decode_tokens(data):
             tokens.append(("path", pid))
         elif kind == "exit":
             tokens.append(("exit",))
-        else:
+        elif kind == "partial":
             pid, pos = read_varint(data, pos)
             block, pos = read_varint(data, pos)
             ip, pos = read_varint(data, pos)
             stage, pos = read_varint(data, pos)
             tokens.append(("partial", pid, block, ip, stage))
+        else:
+            raise TraceDecodeError(
+                "unknown tag byte 0x%02x at offset %d" % (tag, tag_offset),
+                offset=tag_offset,
+            )
     return tokens

@@ -17,10 +17,37 @@ from repro.tracing.ball_larus import ProgramPaths
 from repro.tracing.logfmt import encode_tokens
 
 
+class StreamingTraceSink:
+    """Flush newly recorded tokens, chunk by chunk, to a durable writer.
+
+    ``writer`` is anything with ``write_chunk(thread, tokens, final=False)``
+    and ``close(meta=None)`` — in production a
+    :class:`repro.store.container.ClapWriter`.  The recorder calls
+    :meth:`flush` whenever a thread has accumulated ``flush_every`` new
+    tokens and once more (``final=True``) at :meth:`PathRecorder.finalize`;
+    because every chunk is durable the moment it is written, a recorder
+    that crashes mid-run leaves a recoverable prefix on disk instead of
+    nothing (the store's ``recover`` synthesizes the missing ``partial``
+    tokens).
+    """
+
+    def __init__(self, writer, flush_every=16):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.writer = writer
+        self.flush_every = flush_every
+
+    def flush(self, thread, tokens, final=False):
+        self.writer.write_chunk(thread, tokens, final=final)
+
+    def close(self, meta=None):
+        self.writer.close(meta=meta)
+
+
 class PathRecorder:
     """Interpreter hook that records thread-local execution paths."""
 
-    def __init__(self, program, paths=None):
+    def __init__(self, program, paths=None, sink=None):
         self.program = program
         self.paths = paths if paths is not None else ProgramPaths.build(program)
         self.func_ids = {name: i for i, name in enumerate(sorted(program.functions))}
@@ -29,20 +56,48 @@ class PathRecorder:
         self.logs = {}
         # thread name -> stack of [func_name, counter, current_block]
         self._stacks = {}
+        # Optional StreamingTraceSink; thread name -> tokens already flushed.
+        self.sink = sink
+        self._flushed = {}
         self.instrumentation_ops = 0
         self._finalized = False
+
+    # -- streaming ----------------------------------------------------------
+
+    def _maybe_flush(self, thread_name):
+        sink = self.sink
+        if sink is None:
+            return
+        log = self.logs[thread_name]
+        done = self._flushed[thread_name]
+        if len(log) - done >= sink.flush_every:
+            sink.flush(thread_name, log[done:])
+            self._flushed[thread_name] = len(log)
+
+    def _flush_pending(self, final=False):
+        """Push every thread's unflushed tail to the sink."""
+        if self.sink is None:
+            return
+        for thread_name in sorted(self.logs):
+            log = self.logs[thread_name]
+            done = self._flushed[thread_name]
+            if len(log) > done:
+                self.sink.flush(thread_name, log[done:], final=final)
+                self._flushed[thread_name] = len(log)
 
     # -- interpreter hook interface -----------------------------------------
 
     def on_thread_start(self, thread):
         self.logs[thread.name] = []
         self._stacks[thread.name] = []
+        self._flushed[thread.name] = 0
 
     def on_enter(self, thread, func_name):
         stack = self._stacks[thread.name]
         stack.append([func_name, 0, 0])
         self.logs[thread.name].append(("enter", self.func_ids[func_name]))
         self.instrumentation_ops += 1
+        self._maybe_flush(thread.name)
 
     def on_edge(self, thread, func_name, src, dst):
         frame = self._stacks[thread.name][-1]
@@ -53,6 +108,7 @@ class PathRecorder:
             self.logs[thread.name].append(("path", frame[1] + emit_add))
             frame[1] = new_counter
             self.instrumentation_ops += 1
+            self._maybe_flush(thread.name)
         else:
             val = bl.real_edge_val.get((src, dst), 0)
             if val:
@@ -69,6 +125,7 @@ class PathRecorder:
         log.append(("path", final))
         log.append(("exit",))
         self.instrumentation_ops += 1
+        self._maybe_flush(thread.name)
 
     # -- checkpointing ----------------------------------------------------
 
@@ -83,8 +140,10 @@ class PathRecorder:
 
         Returns {thread_name: archived token list} for the prefix.
         """
+        self._flush_pending(final=True)
         archived = self.logs
         self.logs = {}
+        self._flushed = {}
         for thread in interpreter.threads.values():
             stack = self._stacks.get(thread.name)
             if stack is None:
@@ -96,6 +155,7 @@ class PathRecorder:
                 frame_state[1] = 0
                 frame_state[2] = frame.block
             self.logs[thread.name] = log
+            self._flushed[thread.name] = 0
         return archived
 
     # -- finalization ---------------------------------------------------------
@@ -129,6 +189,7 @@ class PathRecorder:
                 stage = wait_stage if innermost else 0
                 log.append(("partial", counter, frame.block, frame.ip, stage))
                 innermost = False
+        self._flush_pending(final=True)
 
     # -- results ---------------------------------------------------------------
 

@@ -1,0 +1,131 @@
+"""The .clap container: round-trip, corruption detection, truncation."""
+
+import pytest
+
+from repro.store.container import (
+    CHUNK_FINAL,
+    ClapReader,
+    ClapWriter,
+    ContainerError,
+    compact_container,
+    flip_byte,
+    read_meta,
+)
+
+TOKENS_A = [("enter", 0), ("path", 3), ("path", 3), ("path", 3), ("exit",)]
+TOKENS_B = [("enter", 1), ("path", 0), ("partial", 2, 1, 0, 0)]
+
+
+def write_sample(path, meta=None):
+    writer = ClapWriter(str(path))
+    writer.write_chunk("1", TOKENS_A[:2])
+    writer.write_chunk("1:1", TOKENS_B[:2])
+    writer.write_chunk("1", TOKENS_A[2:], final=True)
+    writer.write_chunk("1:1", TOKENS_B[2:], final=True)
+    writer.close(meta=meta)
+    return str(path)
+
+
+def test_roundtrip(tmp_path):
+    path = write_sample(tmp_path / "t.clap", meta={"program": "demo"})
+    reader = ClapReader.open(path)
+    assert reader.complete
+    assert reader.problems == []
+    assert reader.threads() == ["1", "1:1"]
+    assert reader.thread_tokens() == {"1": TOKENS_A, "1:1": TOKENS_B}
+    assert reader.meta["program"] == "demo"
+    assert reader.meta["format"] == 1
+    assert read_meta(path)["program"] == "demo"
+    finals = [c for c in reader.chunks if c.flags & CHUNK_FINAL]
+    assert sorted(c.thread for c in finals) == ["1", "1:1"]
+
+
+def test_empty_chunks_are_skipped(tmp_path):
+    writer = ClapWriter(str(tmp_path / "t.clap"))
+    writer.write_chunk("1", [])
+    writer.write_chunk("1", TOKENS_A)
+    writer.close()
+    reader = ClapReader.open(str(tmp_path / "t.clap"))
+    assert len(reader.chunks) == 1
+
+
+def test_write_after_close_rejected(tmp_path):
+    writer = ClapWriter(str(tmp_path / "t.clap"))
+    writer.close()
+    with pytest.raises(ContainerError):
+        writer.write_chunk("1", TOKENS_A)
+
+
+def test_every_byte_flip_is_detected(tmp_path):
+    """Flip each byte of the file in turn: verify must never stay clean."""
+    path = write_sample(tmp_path / "t.clap")
+    with open(path, "rb") as fh:
+        size = len(fh.read())
+    for offset in range(size):
+        flip_byte(path, offset)
+        reader = ClapReader.open(path)
+        assert not reader.complete, "flip at offset %d went undetected" % offset
+        flip_byte(path, offset)  # restore
+    assert ClapReader.open(path).complete
+
+
+def test_truncation_leaves_valid_prefix(tmp_path):
+    path = write_sample(tmp_path / "t.clap")
+    full = ClapReader.open(path)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    for cut in range(len(data)):
+        with open(str(tmp_path / "cut.clap"), "wb") as fh:
+            fh.write(data[:cut])
+        reader = ClapReader.open(str(tmp_path / "cut.clap"))
+        assert not reader.complete
+        # Every chunk that survives is one of the original chunks, intact.
+        for chunk, original in zip(reader.chunks, full.chunks):
+            assert chunk.thread == original.thread
+            assert chunk.tokens() == original.tokens()
+    # Cutting just before the footer keeps all four chunks.
+    footer_start = full.chunks[-1].offset + full.chunks[-1].size
+    with open(str(tmp_path / "cut.clap"), "wb") as fh:
+        fh.write(data[:footer_start])
+    reader = ClapReader.open(str(tmp_path / "cut.clap"))
+    assert len(reader.chunks) == 4
+    assert reader.thread_tokens() == full.thread_tokens()
+
+
+def test_compact_merges_chunks(tmp_path):
+    path = write_sample(tmp_path / "t.clap", meta={"program": "demo"})
+    dst = str(tmp_path / "c.clap")
+    old, new = compact_container(path, dst)
+    assert old > 0 and new > 0
+    reader = ClapReader.open(dst)
+    assert reader.complete
+    assert len(reader.chunks) == 2  # one per thread
+    assert reader.thread_tokens() == {"1": TOKENS_A, "1:1": TOKENS_B}
+    assert reader.meta["program"] == "demo"
+    # Final markers survive the merge.
+    assert all(c.flags & CHUNK_FINAL for c in reader.chunks)
+
+
+def test_compact_refuses_damaged_container(tmp_path):
+    path = write_sample(tmp_path / "t.clap")
+    flip_byte(path, 20)
+    with pytest.raises(ContainerError):
+        compact_container(path, str(tmp_path / "c.clap"))
+
+
+def test_context_manager_closes_on_success(tmp_path):
+    path = str(tmp_path / "t.clap")
+    with ClapWriter(path) as writer:
+        writer.write_chunk("1", TOKENS_A)
+    assert ClapReader.open(path).complete
+
+
+def test_context_manager_leaves_prefix_on_error(tmp_path):
+    path = str(tmp_path / "t.clap")
+    with pytest.raises(RuntimeError):
+        with ClapWriter(path) as writer:
+            writer.write_chunk("1", TOKENS_A)
+            raise RuntimeError("recorder died")
+    reader = ClapReader.open(path)
+    assert not reader.complete  # no footer
+    assert reader.thread_tokens() == {"1": TOKENS_A}

@@ -1,0 +1,121 @@
+"""Corpus round-trip: add -> verify -> load -> reproduce offline."""
+
+import json
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.store import ClapReader, Corpus, CorpusError
+from repro.store.container import flip_byte
+
+from tests.conftest import RACE_SRC
+
+
+@pytest.fixture(scope="module")
+def corpus_with_entry(tmp_path_factory):
+    corpus = Corpus.create(str(tmp_path_factory.mktemp("corpus")))
+    config = ClapConfig(seeds=range(50))
+    entry = corpus.add(RACE_SRC, name="race", config=config)
+    return corpus, entry
+
+
+def test_add_creates_selfcontained_entry(corpus_with_entry):
+    corpus, entry = corpus_with_entry
+    assert corpus.entry_ids() == [entry.entry_id]
+    manifest = entry.manifest
+    assert manifest["program"]["name"] == "race"
+    assert manifest["program"]["source"] == RACE_SRC
+    assert manifest["record"]["seed"] >= 0
+    assert manifest["bug"]["kind"] == "assertion"
+    assert manifest["stats"]["n_saps"] > 0
+    assert manifest["stats"]["log_bytes"] > 0
+    assert sorted(manifest["stats"]["thread_names"]) == ["1", "1:1", "1:2"]
+    ok, problems = entry.verify()
+    assert ok, problems
+
+
+def test_container_is_streamed(corpus_with_entry):
+    _, entry = corpus_with_entry
+    reader = ClapReader.open(entry.trace_path)
+    assert reader.complete
+    assert reader.meta["program"] == "race"
+    assert reader.meta["seed"] == entry.manifest["record"]["seed"]
+
+
+def test_load_and_reproduce_offline(corpus_with_entry):
+    """The acceptance path: reproduce from disk alone."""
+    corpus, _ = corpus_with_entry
+    entry = corpus.entry(corpus.entry_ids()[0])  # fresh object, cold caches
+    stored = entry.load_execution()
+    assert stored.recovery is None
+    assert stored.bug is not None
+    pipeline = ClapPipeline(
+        stored.program, ClapConfig(**entry.config_kwargs())
+    )
+    report = pipeline.reproduce_offline(stored)
+    assert report.reproduced
+    assert report.seed == entry.manifest["record"]["seed"]
+    assert report.log_bytes == entry.manifest["stats"]["log_bytes"]
+
+
+def test_verify_flags_source_tamper(corpus_with_entry, tmp_path):
+    _, entry = corpus_with_entry
+    manifest = json.loads(open(entry.manifest_path).read())
+    manifest["program"]["source"] += "\n// tampered"
+    tampered_dir = tmp_path / "entries" / entry.entry_id
+    tampered_dir.mkdir(parents=True)
+    (tampered_dir / "manifest.json").write_text(json.dumps(manifest))
+    (tampered_dir / "trace.clap").write_bytes(
+        open(entry.trace_path, "rb").read()
+    )
+    (tmp_path / "corpus.json").write_text('{"format": 1}')
+    bad = Corpus.open(str(tmp_path)).entry(entry.entry_id)
+    ok, problems = bad.verify()
+    assert not ok
+    assert any("hash mismatch" in p for p in problems)
+    with pytest.raises(CorpusError):
+        bad.compile_program()
+
+
+def test_open_rejects_non_corpus(tmp_path):
+    with pytest.raises(CorpusError):
+        Corpus.open(str(tmp_path))
+
+
+def test_duplicate_entry_rejected(corpus_with_entry):
+    corpus, entry = corpus_with_entry
+    with pytest.raises(CorpusError):
+        corpus.add(
+            RACE_SRC,
+            name="race",
+            config=ClapConfig(seeds=range(50)),
+            entry_id=entry.entry_id,
+        )
+
+
+def test_compact_then_reproduce(tmp_path):
+    corpus = Corpus.create(str(tmp_path / "corpus"))
+    entry = corpus.add(
+        RACE_SRC, name="race", config=ClapConfig(seeds=range(50)), flush_every=4
+    )
+    before = len(ClapReader.open(entry.trace_path).chunks)
+    entry.compact()
+    after = len(ClapReader.open(entry.trace_path).chunks)
+    assert after <= before
+    ok, problems = entry.verify()
+    assert ok, problems
+    stored = entry.load_execution()
+    report = ClapPipeline(
+        stored.program, ClapConfig(**entry.config_kwargs())
+    ).reproduce_offline(stored)
+    assert report.reproduced
+
+
+def test_corrupt_chunk_fails_verify_and_load(tmp_path):
+    corpus = Corpus.create(str(tmp_path / "corpus"))
+    entry = corpus.add(RACE_SRC, name="race", config=ClapConfig(seeds=range(50)))
+    chunk = ClapReader.open(entry.trace_path).chunks[0]
+    flip_byte(entry.trace_path, chunk.offset + chunk.size - 5)
+    ok, problems = entry.verify()
+    assert not ok
+    assert any("CRC mismatch" in p for p in problems)

@@ -1,0 +1,142 @@
+"""Crash recovery: truncated containers, synthesized partials, honesty."""
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.store import ClapReader, Corpus
+from repro.store.container import CHUNK_FINAL, CHUNK_RECOVERED
+from repro.store.recover import recover_tokens
+
+# Main asserts mid-run while the worker is still looping: the worker's
+# stream on disk ends in an open frame when its finalize-time flush is
+# lost, which is exactly the synthesized-partial recovery case.
+CRASHY_SRC = """
+int x = 0;
+
+void worker() {
+    x = 1;
+    int j = 0;
+    while (j < 200) {
+        j = j + 1;
+    }
+}
+
+int main() {
+    int t = 0;
+    t = spawn worker();
+    int i = 0;
+    while (i < 30) {
+        i = i + 1;
+    }
+    assert(x == 0);
+    join(t);
+    return 0;
+}
+"""
+
+CONFIG = dict(seeds=range(100), stickiness=0.3, flush_prob=0.3)
+
+
+@pytest.fixture
+def crashy_entry(tmp_path):
+    corpus = Corpus.create(str(tmp_path / "corpus"))
+    entry = corpus.add(
+        CRASHY_SRC,
+        name="crashy",
+        config=ClapConfig(**CONFIG),
+        flush_every=8,
+    )
+    return entry
+
+
+def truncate_before(path, offset):
+    with open(path, "rb") as fh:
+        data = fh.read()
+    assert 0 < offset < len(data)
+    with open(path, "wb") as fh:
+        fh.write(data[:offset])
+
+
+def worker_final_chunk(path):
+    reader = ClapReader.open(path)
+    finals = [
+        c for c in reader.chunks if c.flags & CHUNK_FINAL and c.thread != "1"
+    ]
+    assert finals, "expected a final chunk for the worker thread"
+    return finals[0]
+
+
+def test_recovered_truncated_trace_still_reproduces(crashy_entry):
+    """The tentpole acceptance scenario: lose the worker's finalize-time
+    flush, recover by synthesizing its partial token, reproduce."""
+    entry = crashy_entry
+    truncate_before(entry.trace_path, worker_final_chunk(entry.trace_path).offset)
+    ok, problems = entry.verify()
+    assert not ok and any("footer" in p for p in problems)
+
+    report = entry.recover()
+    assert report.validated
+    assert sum(report.synthesized_partials.values()) >= 1
+    assert report.dropped_threads == []
+
+    ok, problems = entry.verify()
+    assert ok, problems
+    reader = ClapReader.open(entry.trace_path)
+    assert all(c.flags & CHUNK_RECOVERED for c in reader.chunks)
+    assert entry.manifest["recovered"] is True
+
+    stored = entry.load_execution()
+    pipeline = ClapPipeline(
+        stored.program, ClapConfig(**entry.config_kwargs())
+    )
+    assert pipeline.reproduce_offline(stored).reproduced
+
+
+def test_load_execution_recovers_transparently(crashy_entry):
+    """load_execution on a truncated container recovers in memory
+    without rewriting the file."""
+    entry = crashy_entry
+    truncate_before(entry.trace_path, worker_final_chunk(entry.trace_path).offset)
+    stored = entry.load_execution()
+    assert stored.recovery is not None
+    assert stored.recovery.validated
+    assert not ClapReader.open(entry.trace_path).complete  # untouched
+    report = ClapPipeline(
+        stored.program, ClapConfig(**entry.config_kwargs())
+    ).reproduce_offline(stored)
+    assert report.reproduced
+
+
+def test_losing_the_bug_thread_tail_is_reported_honestly(crashy_entry):
+    """Truncating main's own finalize flush loses the failure position;
+    recovery must say validation failed, not fabricate a reproduction."""
+    entry = crashy_entry
+    reader = ClapReader.open(entry.trace_path)
+    main_final = [
+        c for c in reader.chunks if c.flags & CHUNK_FINAL and c.thread == "1"
+    ][0]
+    truncate_before(entry.trace_path, main_final.offset)
+    report = entry.recover()
+    assert not report.validated
+    assert any("assert" in note or "validation" in note for note in report.notes)
+
+
+def test_recover_refuses_complete_container(crashy_entry):
+    from repro.store import CorpusError
+
+    with pytest.raises(CorpusError):
+        crashy_entry.recover()
+
+
+def test_recover_tokens_drops_orphan_threads(crashy_entry):
+    """A thread whose spawn record fell in the lost tail cannot be
+    accounted for and is dropped from the recovered trace."""
+    entry = crashy_entry
+    program = entry.compile_program()
+    reader = ClapReader.open(entry.trace_path)
+    logs = reader.thread_tokens()
+    # Keep the child's tokens but delete the parent's entirely: the
+    # child's spawn record is gone.
+    orphan_logs = {"1:1": logs["1:1"]}
+    recovered, report = recover_tokens(orphan_logs, program, bug=entry.bug())
+    assert "1:1" not in recovered or not report.validated

@@ -132,3 +132,67 @@ def test_reproduce_with_static_prune(race_file, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_trace_json_output(race_file, capsys):
+    code = main(["trace", race_file, "--json", "--seed", "3"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["seed"] == 3
+    assert payload["threads"]
+    for info in payload["threads"].values():
+        assert info["n_tokens"] == len(info["tokens"])
+        assert info["encoded_bytes"] > 0
+        assert info["compressed_bytes"] > 0
+        assert info["compression_ratio"] > 0
+        kinds = {token[0] for token in info["tokens"]}
+        assert kinds <= {"enter", "path", "exit", "partial", "resume"}
+
+
+@pytest.fixture
+def corpus_dir(race_file, tmp_path, capsys):
+    root = str(tmp_path / "corpus")
+    code = main(
+        ["corpus", "add", root, race_file, "--stickiness", "0.3",
+         "--name", "race", "--max-seeds", "50"]
+    )
+    capsys.readouterr()
+    assert code == 0
+    return root
+
+
+def test_corpus_add_ls_verify(corpus_dir, capsys):
+    assert main(["corpus", "ls", corpus_dir]) == 0
+    out = capsys.readouterr().out
+    assert "race" in out
+    assert "seed=" in out
+    assert main(["corpus", "verify", corpus_dir]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_corpus_verify_flags_corruption(corpus_dir, capsys):
+    from repro.store import Corpus
+    from repro.service.faults import corrupt_chunk
+
+    entry = Corpus.open(corpus_dir).entries()[0]
+    corrupt_chunk(entry.trace_path, 0)
+    assert main(["corpus", "verify", corpus_dir]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_corpus_compact(corpus_dir, capsys):
+    assert main(["corpus", "compact", corpus_dir]) == 0
+    assert "bytes" in capsys.readouterr().out
+    assert main(["corpus", "verify", corpus_dir]) == 0
+
+
+def test_batch_cli(corpus_dir, tmp_path, capsys):
+    sink = str(tmp_path / "results.jsonl")
+    code = main(["batch", corpus_dir, "--jobs", "2", "--out", sink, "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "reproduced" in out
+    assert "1 jobs: 1 reproduced" in out
+    lines = [json.loads(l) for l in open(sink) if l.strip()]
+    assert len(lines) == 1
+    assert lines[0]["status"] == "reproduced"

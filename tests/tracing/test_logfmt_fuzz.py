@@ -1,0 +1,104 @@
+"""Property tests for the logfmt encoding: random round-trips and the
+guarantee that a damaged stream raises :class:`TraceDecodeError` rather
+than silently decoding garbage (the trace store's recovery scan depends
+on it)."""
+
+import random
+
+import pytest
+
+from repro.tracing.logfmt import (
+    TAG_RESUME,
+    TraceDecodeError,
+    decode_tokens,
+    encode_tokens,
+    read_varint,
+)
+
+
+def random_token(rng):
+    kind = rng.choice(("enter", "path", "exit", "partial", "resume"))
+    if kind == "enter":
+        return ("enter", rng.randrange(0, 1 << rng.choice((4, 14, 30))))
+    if kind == "path":
+        return ("path", rng.randrange(0, 1 << rng.choice((1, 7, 20))))
+    if kind == "exit":
+        return ("exit",)
+    if kind == "partial":
+        return (
+            "partial",
+            rng.randrange(0, 1 << 16),
+            rng.randrange(0, 64),
+            rng.randrange(0, 64),
+            rng.randrange(0, 3),
+        )
+    return ("resume", rng.randrange(0, 32), rng.randrange(0, 64), rng.randrange(0, 64))
+
+
+def random_stream(rng, length):
+    tokens = []
+    while len(tokens) < length:
+        if rng.random() < 0.3:
+            # Loop bursts: repeated path ids exercise the RLE encoder.
+            pid = rng.randrange(0, 1 << 10)
+            tokens.extend([("path", pid)] * rng.randrange(2, 20))
+        else:
+            tokens.append(random_token(rng))
+    return tokens
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzz_roundtrip(seed):
+    rng = random.Random(seed)
+    tokens = random_stream(rng, rng.randrange(1, 120))
+    assert decode_tokens(encode_tokens(tokens)) == tokens
+
+
+def test_rle_kicks_in_for_repeated_paths():
+    tokens = [("enter", 1)] + [("path", 7)] * 100 + [("exit",)]
+    data = encode_tokens(tokens)
+    assert len(data) < 12
+    assert decode_tokens(data) == tokens
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_every_truncation_is_error_or_clean_prefix(seed):
+    """Cutting a valid encoding anywhere must either raise a structured
+    TraceDecodeError (cut inside a record) or decode to an exact prefix
+    of the original token list (cut at a record boundary) — never to
+    bogus tokens."""
+    rng = random.Random(1000 + seed)
+    tokens = random_stream(rng, 40)
+    data = encode_tokens(tokens)
+    for cut in range(len(data)):
+        try:
+            decoded = decode_tokens(data[:cut])
+        except TraceDecodeError as exc:
+            assert exc.offset is not None
+            assert 0 <= exc.offset <= cut
+        else:
+            assert decoded == tokens[: len(decoded)]
+
+
+def test_truncation_mid_token_raises():
+    data = encode_tokens([("partial", 300, 5, 2, 0)])
+    for cut in range(1, len(data)):
+        with pytest.raises(TraceDecodeError):
+            decode_tokens(data[:cut])
+
+
+def test_unknown_tag_raises_with_offset():
+    data = encode_tokens([("enter", 0), ("path", 3)])
+    for bad_tag in range(TAG_RESUME + 1, 256):
+        with pytest.raises(TraceDecodeError) as err:
+            decode_tokens(data + bytes([bad_tag]))
+        assert err.value.offset == len(data)
+
+
+def test_read_varint_truncated_raises_with_offset():
+    with pytest.raises(TraceDecodeError) as err:
+        read_varint(b"", 0)
+    assert err.value.offset == 0
+    with pytest.raises(TraceDecodeError) as err:
+        read_varint(bytes([0x80, 0x80]), 0)
+    assert err.value.offset == 2
