@@ -83,6 +83,43 @@ def cmd_record(args):
     return 0
 
 
+def _profile_phases(report):
+    """(phase, seconds) rows of the per-phase wall-clock breakdown."""
+    return [
+        ("record", report.time_record),
+        ("symexec", report.time_symbolic),
+        ("encode", report.time_encode),
+        ("solve", report.time_solve),
+        ("replay", report.time_replay),
+    ]
+
+
+def _report_payload(report):
+    """The machine-readable form of a ClapReport for ``--json``."""
+    return {
+        "program": report.program_name,
+        "memory_model": report.memory_model,
+        "solver": report.solver,
+        "reproduced": report.reproduced,
+        "seed": report.seed,
+        "bug": str(report.bug) if report.bug else None,
+        "failure_reason": report.failure_reason,
+        "log_bytes": report.log_bytes,
+        "n_saps": report.n_saps,
+        "n_constraints": report.n_constraints,
+        "n_variables": report.n_variables,
+        "n_pruned_choice_vars": report.n_pruned_choice_vars,
+        "n_pruned_clauses": report.n_pruned_clauses,
+        "context_switches": report.context_switches,
+        "profile": dict(
+            [(phase, round(seconds, 6)) for phase, seconds in _profile_phases(report)]
+            + [("cache", report.cache_state)]
+        ),
+        "cache_stats": report.cache_stats,
+        "schedule": ["%s#%d" % uid for uid in report.schedule],
+    }
+
+
 def cmd_reproduce(args):
     from repro.core.clap import ClapConfig, ClapPipeline
 
@@ -95,20 +132,32 @@ def cmd_reproduce(args):
         flush_prob=args.flush_prob,
         workers=args.workers,
         static_prune=args.static_prune,
+        symexec_workers=args.symexec_workers,
     )
     report = ClapPipeline(program, config).reproduce()
+    if args.json:
+        print(json.dumps(_report_payload(report), indent=2, sort_keys=True))
+        return 0 if report.reproduced else 1
     print("failure      :", report.bug)
     print("reproduced   :", report.reproduced)
     print("log bytes    :", report.log_bytes)
     print("SAPs         :", report.n_saps)
     print("constraints  :", report.n_constraints)
     print("variables    :", report.n_variables)
-    if args.static_prune:
-        print(
-            "pruned       : %d choice vars, %d clauses (static analysis)"
-            % (report.n_pruned_choice_vars, report.n_pruned_clauses)
+    print(
+        "pruned       : %d choice vars, %d clauses (hb closure%s)"
+        % (
+            report.n_pruned_choice_vars,
+            report.n_pruned_clauses,
+            " + static" if args.static_prune else "",
         )
+    )
     print("solve time   : %.2fs (%s)" % (report.time_solve, report.solver))
+    if args.profile:
+        print("profile:")
+        for phase, seconds in _profile_phases(report):
+            print("  %-8s %8.3fs" % (phase, seconds))
+        print("  cache    %8s" % report.cache_state)
     detail = report.solver_detail
     sat = detail.get("sat_stats")
     if sat:
@@ -317,7 +366,7 @@ def cmd_corpus_ls(args):
 
 
 def cmd_corpus_verify(args):
-    from repro.store import Corpus
+    from repro.store import AnalysisCache, Corpus
 
     corpus = Corpus.open(args.corpus)
     entry_ids = args.entries or corpus.entry_ids()
@@ -331,6 +380,20 @@ def cmd_corpus_verify(args):
             print("%-28s CORRUPT" % entry_id)
             for problem in problems:
                 print("    %s" % problem)
+    # Analysis cache: stale entries (old schema, mismatched prune config,
+    # unreadable pickle) are reported and removed — self-healing, so they
+    # do not fail the verify.
+    cache_root = os.path.join(args.corpus, "cache")
+    if os.path.isdir(cache_root):
+        cache = AnalysisCache(cache_root)
+        total = len(cache.entry_paths())
+        stale = cache.verify()
+        for path, problem in stale:
+            print(
+                "cache %-22s STALE (removed): %s"
+                % (os.path.basename(path)[:12] + "…", problem)
+            )
+        print("cache: %d entries ok, %d stale removed" % (total - len(stale), len(stale)))
     return 1 if bad else 0
 
 
@@ -374,6 +437,7 @@ def cmd_batch(args):
         max_attempts=args.max_attempts,
         sink_path=args.out,
         on_outcome=progress if not args.quiet else None,
+        use_cache=not args.no_cache,
     )
     print(format_batch_table(results, aggregate))
     return 0 if aggregate["reproduced"] == aggregate["jobs"] else 1
@@ -415,6 +479,22 @@ def build_parser():
         "--static-prune",
         action="store_true",
         help="prune Frw with the static race analysis (repro analyze passes)",
+    )
+    p.add_argument(
+        "--symexec-workers",
+        type=int,
+        default=0,
+        help="fan per-thread symbolic execution over N worker processes",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-phase wall-clock breakdown (record/symexec/encode/solve/replay)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (includes the profile breakdown)",
     )
     p.set_defaults(func=cmd_reproduce)
 
@@ -500,6 +580,11 @@ def build_parser():
     p.add_argument("--max-attempts", type=int, default=3)
     p.add_argument("--out", help="append JSONL results to this file")
     p.add_argument("--quiet", action="store_true", help="no per-job progress")
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the corpus analysis cache (always re-run symexec+encode)",
+    )
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("bench", help="regenerate a paper table")

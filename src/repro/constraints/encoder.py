@@ -1,5 +1,6 @@
 """Top-level constraint encoder: F = Fpath ∧ Fbug ∧ Fso ∧ Frw ∧ Fmo."""
 
+from repro.constraints.hb import HBClosure, HBPruner
 from repro.constraints.memory_order import encode_memory_order
 from repro.constraints.model import ConstraintSystem, OLt
 from repro.constraints.prune import RWPruner
@@ -55,6 +56,7 @@ def encode(
     preexisting=frozenset(),
     preexited=frozenset(),
     prune=None,
+    hb=True,
 ):
     """Encode one recorded execution into a :class:`ConstraintSystem`.
 
@@ -73,8 +75,15 @@ def encode(
         ``system.initial_values`` accordingly).
     prune : StaticPruneInfo, optional
         Proven-race-free site pairs from ``analysis.static_race``; when
-        given, Frw drops candidates/clauses those proofs (together with
-        the hard-edge must-order) show impossible, equisatisfiably.
+        given, Frw additionally drops candidates/clauses the static
+        critical-section rules show impossible, equisatisfiably.
+    hb : bool
+        When True (the default), compute the happens-before closure of
+        the hard edges once and prune Frw with it unconditionally — the
+        closure decides candidates and clauses that are fixed in every
+        model, so the result is equisatisfiable with the raw encoding.
+        ``hb=False`` produces the raw, completely unpruned Frw (used by
+        the differential tests and the old-vs-new benchmarks).
     """
     system = ConstraintSystem(
         memory_model=memory_model,
@@ -118,16 +127,27 @@ def encode(
     system.at_most_one.extend(so_amo)
     system.sw_candidates = sw_candidates
 
-    # Frw — optionally pruned using the static race analysis plus the
-    # hard-edge must-order accumulated above (Fmo and Fso must be encoded
-    # first; the pruner's soundness argument depends on it).
+    # Frw — pruned with the happens-before closure of the hard edges
+    # accumulated above (Fmo and Fso must be encoded first; the pruner's
+    # soundness argument depends on it), plus the static critical-section
+    # rules when a StaticPruneInfo certificate is supplied.
+    closure = None
     pruner = None
-    if prune is not None:
-        pruner = RWPruner(summaries, system.hard_edges, prune)
+    if hb:
+        closure = HBClosure(list(system.saps), system.hard_edges)
+        if prune is not None:
+            pruner = RWPruner(summaries, static_info=prune, closure=closure)
+        else:
+            pruner = HBPruner(closure)
+    elif prune is not None:
+        pruner = RWPruner(
+            summaries, hard_edges=system.hard_edges, static_info=prune
+        )
     rw_clauses, rw_eo, rf_candidates = encode_read_write(summaries, pruner=pruner)
     system.clauses.extend(rw_clauses)
     system.exactly_one.extend(rw_eo)
     system.rf_candidates = rf_candidates
+    system.hb_closure = closure
     if pruner is not None:
         system.prune_stats = pruner.stats
 

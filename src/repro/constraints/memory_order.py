@@ -32,7 +32,7 @@ buffer.
 
 from repro.runtime import events as ev
 from repro.runtime.memory import PSO, SC, TSO
-from repro.constraints.model import OLt
+from repro.constraints.model import OLt, addr_key
 
 
 def _chain(uids):
@@ -71,7 +71,7 @@ def _relaxed_order(saps, per_address_writes):
         return not s.is_data and s.kind != ev.YIELD
 
     if per_address_writes:
-        addrs = sorted({s.addr for s in saps if s.is_write}, key=repr)
+        addrs = sorted({s.addr for s in saps if s.is_write}, key=addr_key)
         for addr in addrs:
             ws = [s for s in saps if (s.is_write and s.addr == addr) or fences(s)]
             for a, b in zip(ws, ws[1:]):

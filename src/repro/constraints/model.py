@@ -24,6 +24,18 @@ from dataclasses import dataclass, field
 INIT = "<init>"
 
 
+def addr_key(addr):
+    """Structured sort key for a SAP address tuple.
+
+    Addresses are ``(name,)`` for scalars and ``(name, index)`` for array
+    elements.  Sorting by the name first and the raw index tail second
+    keeps the encoder's iteration order deterministic without depending
+    on ``repr`` formatting (which would put ``('a', 10)`` before
+    ``('a', 2)`` and change with any repr tweak).
+    """
+    return (addr[0], addr[1:])
+
+
 @dataclass(frozen=True)
 class OLt:
     a: tuple
@@ -127,8 +139,15 @@ class ConstraintSystem:
     # and threads that already exited (joins on them are pre-satisfied).
     preexisting: frozenset = frozenset()
     preexited: frozenset = frozenset()
-    # PruneStats from constraints.prune when static pruning was applied.
+    # PruneStats from the Frw pruner: the always-on HB must-order layer
+    # (constraints.hb), plus the static critical-section rules when
+    # --static-prune supplied a certificate.  None only for hb=False raw
+    # encodings.
     prune_stats: object = None
+    # The HBClosure of the hard edges computed during encoding; the SMT
+    # solver reuses it for fixed-order reachability instead of rebuilding
+    # its own transitive closure.  None for hb=False encodings.
+    hb_closure: object = None
     # Canonical atom-key -> SAT-variable id, assigned deterministically by
     # ``encoder.assign_atom_numbering``.  Every SAT instance built from
     # this system adopts it, so variable ids are stable across bound

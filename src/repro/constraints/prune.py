@@ -1,28 +1,13 @@
-"""Static-analysis-driven Frw pruning (off by default, ``--static-prune``).
+"""Static-analysis-driven Frw pruning (the ``--static-prune`` layer).
 
-Every rule here removes only reads-from candidates (or clauses) that are
-*false in every model* of the remaining system, so the pruned encoding is
-equisatisfiable with the full one and yields the same schedules — the
-property test in ``tests/test_properties.py`` checks exactly that.
-
-Two sources of "false in every model":
-
-**Must-order** — the transitive closure of the system's hard edges
-(Fmo per-model program order plus Fso's fork/start/exit/join edges).
-A hard edge holds in every model by construction, so:
-
-* R1: ``rf(r <- w)`` is impossible when ``must(r -> w)`` (a read cannot
-  return a write that is forced after it);
-* R2: ``w`` is *shadowed* when some other candidate ``w'`` satisfies
-  ``must(w -> w') ∧ must(w' -> r)`` — ``w'`` always sits in between, so
-  the rf-nomid clause for ``w`` can never hold;
-* R3: the INIT option is impossible when some candidate satisfies
-  ``must(w -> r)`` (a write always precedes the read).
-
-**Critical sections** — for a variable the static lockset pass proved
-*consistently protected* by mutex ``m`` (every static access site holds
-``m``), Fso's region-exclusion clauses order whole critical sections
-atomically, hence in every model:
+The *must-order* rules R1/R2/R3 — pruning reads-from candidates the
+hard-edge transitive closure already decides — live in
+:class:`repro.constraints.hb.HBPruner` and run on every encoding, no
+static analysis required.  This module layers the **critical-section**
+rules on top, which do need the static lockset pass: for a variable it
+proved *consistently protected* by mutex ``m`` (every static access site
+holds ``m``), Fso's region-exclusion clauses order whole critical
+sections atomically, hence in every model:
 
 * R4: a read with a same-thread earlier write ``w0`` in its *own*
   dynamic region of ``m`` must read (its region's latest) ``w0`` —
@@ -33,56 +18,37 @@ atomically, hence in every model:
   the address in its own region cannot be read outside that region —
   its region-successor write is always in between.
 
-The must-order rules additionally require the static analyzer to have
-proven the (read, write) site pair race-free — strictly a restriction
-(the prunes are logically valid regardless), but it keeps every pruned
-pair inside the statically-certified set, which is the contract the
-encoder advertises.  Same-thread pairs are trivially race-free (program
-order), and SAPs whose ``(var, line, kind)`` key the analyzer never saw
-are never pruned.
+Every rule removes only candidates (or clauses) that are false in every
+model of the remaining system, so the pruned encoding stays
+equisatisfiable with the full one and yields the same schedules — the
+property test in ``tests/test_properties.py`` checks exactly that.
 """
 
-from dataclasses import dataclass, field
-
+from repro.constraints.hb import HBClosure, HBPruner, PruneStats  # noqa: F401
 from repro.runtime import events as ev
 
 
-@dataclass
-class PruneStats:
-    """Counters surfaced through ``constraints.stats.ConstraintStats``."""
+class RWPruner(HBPruner):
+    """The HB must-order rules plus the static critical-section rules.
 
-    candidates_pruned: int = 0  # write candidates removed (R1/R2/R4/R5)
-    init_pruned: int = 0  # INIT options removed (R3/R4)
-    forced_reads: int = 0  # reads pinned to a single source (R4)
-    clauses_pruned: int = 0  # rf clauses skipped as hard-edge implied
-    pairs_considered: int = 0  # (read, candidate) pairs examined
-
-    @property
-    def choice_vars_pruned(self):
-        """Reduction in n_choice_vars vs. the unpruned encoding."""
-        return self.candidates_pruned + self.init_pruned
-
-
-class RWPruner:
-    """Decides, per read, which rf candidates survive.
-
-    ``hard_edges`` is the system's accumulated list of
-    :class:`~repro.constraints.model.OLt` facts — Fmo and Fso hard parts
-    must already be encoded when the pruner is built (the encoder
+    Built by the encoder when ``--static-prune`` supplies a
+    ``StaticPruneInfo``; shares the encoding's :class:`HBClosure` (pass
+    ``closure=``), or builds one from ``hard_edges`` — Fmo and Fso hard
+    parts must already be encoded when the pruner is built (the encoder
     guarantees the ordering).
     """
 
-    def __init__(self, summaries, hard_edges, static_info):
+    def __init__(self, summaries, hard_edges=None, static_info=None, closure=None):
+        if closure is None:
+            uids = [
+                sap.uid
+                for summary in summaries.values()
+                for sap in summary.saps
+            ]
+            closure = HBClosure(uids, hard_edges or ())
+        super().__init__(closure)
         self.static_info = static_info
-        self.stats = PruneStats()
-        self._descendants = _must_order_closure(hard_edges)
         self._regions, self._region_writes = _dynamic_regions(summaries)
-
-    # -- must-order ------------------------------------------------------
-
-    def must_before(self, uid_a, uid_b):
-        desc = self._descendants.get(uid_a)
-        return desc is not None and uid_b in desc
 
     # -- static verdicts -------------------------------------------------
 
@@ -107,53 +73,7 @@ class RWPruner:
         held at the time of the access)."""
         return self._regions.get(sap.uid, {}).get(mutex)
 
-    # -- the filter ------------------------------------------------------
-
-    def filter_candidates(self, read, candidates):
-        """Return (kept_candidates, include_init, forced_candidate)."""
-        self.stats.pairs_considered += len(candidates) + 1
-
-        forced = self._region_forced_source(read, candidates)
-        if forced is not None:
-            self.stats.forced_reads += 1
-            self.stats.candidates_pruned += sum(
-                1 for w in candidates if w.uid != forced.uid
-            )
-            self.stats.init_pruned += 1
-            return [forced], False, forced
-
-        kept = []
-        for w in candidates:
-            if self.race_free(read, w) and self._candidate_impossible(
-                read, w, candidates
-            ):
-                self.stats.candidates_pruned += 1
-            else:
-                kept.append(w)
-
-        include_init = True
-        if any(
-            self.must_before(w.uid, read.uid) and self.race_free(read, w)
-            for w in kept
-        ):
-            include_init = False  # R3: some write always precedes the read
-            self.stats.init_pruned += 1
-        if not kept and not include_init:
-            include_init = True  # defensive: never leave a read sourceless
-            self.stats.init_pruned -= 1
-        return kept, include_init, None
-
-    def _candidate_impossible(self, read, w, candidates):
-        if self.must_before(read.uid, w.uid):
-            return True  # R1
-        for other in candidates:
-            if other is w:
-                continue
-            if self.must_before(w.uid, other.uid) and self.must_before(
-                other.uid, read.uid
-            ):
-                return True  # R2: shadowed
-        return self._dead_region_write(read, w)
+    # -- the region hooks HBPruner.filter_candidates calls ---------------
 
     def _region_forced_source(self, read, candidates):
         """R4: reads with a same-thread earlier write in their own critical
@@ -200,38 +120,15 @@ class RWPruner:
                 return True
         return False
 
-    # -- clause-level skips (redundant, not just impossible) -------------
-
-    def nomid_clause_redundant(self, read, w, other):
-        """rf-nomid(read<-w vs other) holds in every model?"""
-        if self.must_before(other.uid, w.uid) or self.must_before(
-            read.uid, other.uid
-        ):
-            self.stats.clauses_pruned += 1
-            return True
-        return False
-
-    def before_clause_redundant(self, read, w):
-        """rf-before(read<-w) holds in every model?"""
-        if self.must_before(w.uid, read.uid):
-            self.stats.clauses_pruned += 1
-            return True
-        return False
-
-    def init_clause_redundant(self, read, w):
-        """rf-init's OLt(read, w) disjunct holds in every model?"""
-        if self.must_before(read.uid, w.uid):
-            self.stats.clauses_pruned += 1
-            return True
-        return False
-
 
 def _must_order_closure(hard_edges):
     """{uid: set of uids provably after it} from the hard-edge DAG.
 
-    Falls back to an empty closure (no pruning) if the edges are somehow
-    cyclic — they never should be, since the recorded schedule satisfies
-    all of them, but a pruner must fail safe.
+    The set-based reference implementation of the transitive closure —
+    :class:`repro.constraints.hb.HBClosure` replaces it on the encoding
+    hot path, and the differential tests check the two agree edge for
+    edge.  Falls back to an empty closure (no pruning) if the edges are
+    somehow cyclic.
     """
     unique = {(edge.a, edge.b) for edge in hard_edges}
     succs = {}

@@ -15,15 +15,25 @@ three).  The worst-case size is 4·Nr·Nw², cubic in the number of SAPs,
 which is the paper's complexity analysis.
 """
 
-from repro.constraints.model import INIT, Clause, ExactlyOne, Lit, OLt, RFChoice
+from repro.constraints.model import (
+    INIT,
+    Clause,
+    ExactlyOne,
+    Lit,
+    OLt,
+    RFChoice,
+    addr_key,
+)
 
 
 def encode_read_write(summaries, pruner=None):
     """Build Frw.  Returns (clauses, exactly_one, rf_candidates).
 
-    ``pruner``, when given (a :class:`repro.constraints.prune.RWPruner`),
-    drops reads-from candidates and clauses the static analysis plus the
-    hard-edge must-order prove impossible or redundant; the result is
+    ``pruner``, when given (an :class:`repro.constraints.hb.HBPruner` —
+    normally the encoder's always-on instance, or the static-analysis
+    :class:`repro.constraints.prune.RWPruner` subclass), drops reads-from
+    candidates and clauses the hard-edge must-order (plus any static
+    certificates) proves impossible or redundant; the result is
     equisatisfiable with the unpruned encoding.
     """
     clauses = []
@@ -39,7 +49,7 @@ def encode_read_write(summaries, pruner=None):
             elif sap.is_write:
                 writes_by_addr.setdefault(sap.addr, []).append(sap)
 
-    for addr, reads in sorted(reads_by_addr.items(), key=lambda kv: repr(kv[0])):
+    for addr, reads in sorted(reads_by_addr.items(), key=lambda kv: addr_key(kv[0])):
         writes = writes_by_addr.get(addr, [])
         for read in reads:
             candidates = [

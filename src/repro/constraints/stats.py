@@ -49,12 +49,38 @@ class SolverPhaseStats:
         return {key: mine[key] - theirs[key] for key in mine}
 
 
-def merge_sat_stats(stat_dicts):
-    """Counter-wise sum of :meth:`SolverPhaseStats.as_dict` payloads.
+@dataclass
+class CacheStats:
+    """Analysis-cache counters (:class:`repro.store.cache.AnalysisCache`).
 
-    The batch service uses this to aggregate per-job SAT counters into
-    its summary table.  ``None``/empty entries are skipped and
-    non-numeric values ignored, so partially populated job results (a
+    ``stale`` counts entries rejected — and deleted — because their
+    stored schema version or prune configuration no longer matched; a
+    stale entry also counts as a miss, so ``hits + misses`` is the total
+    number of lookups.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+def merge_sat_stats(stat_dicts):
+    """Counter-wise sum of counter dicts (SAT or cache counters alike).
+
+    The batch service uses this to aggregate per-job SAT and cache
+    counters into its summary table.  ``None``/empty entries are skipped
+    and non-numeric values ignored, so partially populated job results (a
     genval run has no CDCL counters) merge cleanly.
     """
     total = {}
@@ -78,10 +104,15 @@ class ConstraintStats:
     n_clause_lits: int = 0
     n_path_conditions: int = 0
     n_path_condition_nodes: int = 0
-    # Static-prune accounting (zero when pruning was off).
+    # Frw prune accounting, always relative to the raw (hb=False)
+    # encoding: the always-on happens-before layer plus, when
+    # --static-prune was given, the static critical-section rules.
     n_pruned_choice_vars: int = 0
     n_pruned_clauses: int = 0
     n_forced_reads: int = 0
+    # The share of pruned candidates owed to the static region rules
+    # (zero when static pruning was off).
+    n_region_pruned_choice_vars: int = 0
 
     @property
     def n_constraints(self):
@@ -119,4 +150,7 @@ def compute_stats(system):
         stats.n_pruned_choice_vars = prune.choice_vars_pruned
         stats.n_pruned_clauses = prune.clauses_pruned
         stats.n_forced_reads = prune.forced_reads
+        stats.n_region_pruned_choice_vars = getattr(
+            prune, "region_candidates_pruned", 0
+        )
     return stats

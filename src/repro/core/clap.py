@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.minilang import compile_source
 from repro.minilang.compiler import CompiledProgram
 from repro.analysis.escape import shared_variables
-from repro.analysis.symexec import execute_recorded_paths
+from repro.analysis.symexec import execute_recorded_paths, parallel_summaries
 from repro.constraints.encoder import encode
 from repro.constraints.stats import compute_stats
 from repro.runtime.interpreter import Interpreter
@@ -71,8 +71,14 @@ class ClapConfig:
     # Feed the static race analysis (analysis.static_race) into the Frw
     # encoder: candidates proven impossible for race-free site pairs are
     # dropped.  Off by default — enable with ``repro reproduce
-    # --static-prune`` or ClapConfig(static_prune=True).
+    # --static-prune`` or ClapConfig(static_prune=True).  (The hard-edge
+    # happens-before pruning needs no certificate and is always on.)
     static_prune: bool = False
+    # Parallel per-thread symbolic execution: >1 fans thread re-execution
+    # over a worker pool; traces under symexec_min_blocks decoded basic
+    # blocks stay serial regardless (fork overhead dominates below that).
+    symexec_workers: int = 0
+    symexec_min_blocks: int = 512
 
 
 @dataclass
@@ -113,7 +119,13 @@ class ClapReport:
     context_switches: int = -1
     time_record: float = 0.0
     time_symbolic: float = 0.0
+    time_encode: float = 0.0
     time_solve: float = 0.0
+    time_replay: float = 0.0
+    # Analysis-cache outcome for this run: 'off', 'miss' or 'hit', plus
+    # the cache's own counters when one was attached.
+    cache_state: str = "off"
+    cache_stats: dict = field(default_factory=dict)
     log_bytes: int = 0
     solver: str = ""
     solver_detail: dict = field(default_factory=dict)
@@ -186,12 +198,61 @@ class ClapPipeline:
 
     # -- phase 2 ----------------------------------------------------------
 
-    def analyze(self, recorded):
-        """Decode logs, run symbolic execution, encode the constraints."""
+    def _prune_config(self):
+        """The Frw prune configuration, as the analysis cache keys it."""
+        return {"hb": True, "static": self.prune_info is not None}
+
+    def analyze(self, recorded, cache=None, timings=None):
+        """Decode logs, run symbolic execution, encode the constraints.
+
+        ``cache`` (an :class:`repro.store.cache.AnalysisCache`) makes the
+        front end content-addressed: a hit deserializes the stored thread
+        summaries and constraint system instead of re-running symexec and
+        the encoder; a miss stores the fresh result.  ``timings``, when a
+        dict, receives the per-phase wall clocks (``symexec``,
+        ``encode``) and the cache outcome (``cache``: hit/miss).
+        """
+        if timings is None:
+            timings = {}
+        material = None
+        if cache is not None:
+            from repro.store.cache import AnalysisCache
+
+            material = AnalysisCache.key_material(
+                self.program,
+                recorded.recorder,
+                self.config.memory_model,
+                self._prune_config(),
+            )
+            t0 = time.monotonic()
+            hit = cache.load(material)
+            if hit is not None:
+                timings["cache"] = "hit"
+                timings["symexec"] = 0.0
+                timings["encode"] = time.monotonic() - t0
+                system = hit["system"]
+                if self.config.pin_observed_reads and recorded.bug is not None:
+                    self._pin_observed_reads(system, recorded)
+                return system
+            timings["cache"] = "miss"
+
+        t0 = time.monotonic()
         decoded = decode_log(recorded.recorder)
-        summaries = execute_recorded_paths(
-            self.program, decoded, self.shared, bug=recorded.bug
-        )
+        if self.config.symexec_workers > 1:
+            summaries = parallel_summaries(
+                self.program,
+                decoded,
+                self.shared,
+                bug=recorded.bug,
+                workers=self.config.symexec_workers,
+                min_blocks=self.config.symexec_min_blocks,
+            )
+        else:
+            summaries = execute_recorded_paths(
+                self.program, decoded, self.shared, bug=recorded.bug
+            )
+        t1 = time.monotonic()
+        timings["symexec"] = t1 - t0
         system = encode(
             summaries,
             self.config.memory_model,
@@ -199,6 +260,18 @@ class ClapPipeline:
             self.shared,
             prune=self.prune_info,
         )
+        timings["encode"] = time.monotonic() - t1
+        if cache is not None:
+            from dataclasses import asdict as _asdict
+
+            # Store the pristine system — before pin_observed_reads
+            # appends run-specific bug expressions to it.
+            cache.store(
+                material,
+                summaries,
+                system,
+                stats_dict=_asdict(compute_stats(system)),
+            )
         if self.config.pin_observed_reads and recorded.bug is not None:
             self._pin_observed_reads(system, recorded)
         return system
@@ -270,13 +343,15 @@ class ClapPipeline:
         report.time_record = time.monotonic() - t0
         return self.reproduce_offline(recorded, report=report)
 
-    def reproduce_offline(self, recorded, report=None):
+    def reproduce_offline(self, recorded, report=None, cache=None):
         """Phases 2+3 only: reproduce from an already recorded execution.
 
         ``recorded`` is anything shaped like :class:`RecordedExecution` —
         in particular a :class:`repro.store.corpus.StoredExecution` loaded
         from a ``.clap`` container on disk, which is how the batch service
         reproduces failures long after the recording process is gone.
+        ``cache`` (an :class:`repro.store.cache.AnalysisCache`) lets the
+        analysis phase skip symexec + encode on content-address hits.
         """
         if report is None:
             report = ClapReport(
@@ -293,9 +368,15 @@ class ClapPipeline:
         report.n_instructions = result.total_instructions()
         report.n_branches = result.total_branches()
 
+        timings = {}
         t0 = time.monotonic()
-        system = self.analyze(recorded)
-        report.time_symbolic = time.monotonic() - t0
+        system = self.analyze(recorded, cache=cache, timings=timings)
+        analyze_total = time.monotonic() - t0
+        report.time_symbolic = timings.get("symexec", analyze_total)
+        report.time_encode = timings.get("encode", 0.0)
+        report.cache_state = timings.get("cache", "off")
+        if cache is not None:
+            report.cache_stats = cache.stats.as_dict()
         stats = compute_stats(system)
         report.n_saps = stats.n_saps
         report.n_constraints = stats.n_constraints
@@ -326,7 +407,9 @@ class ClapPipeline:
             if getattr(solved, "round_stats", None):
                 report.solver_detail["round_stats"] = solved.round_stats
 
+        t0 = time.monotonic()
         outcome = self.replay(solved.schedule, recorded.bug)
+        report.time_replay = time.monotonic() - t0
         report.reproduced = outcome.reproduced
         if not outcome.reproduced:
             report.failure_reason = "replay did not reproduce the failure"

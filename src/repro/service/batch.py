@@ -25,6 +25,7 @@ from repro.service.jobs import (
     JobSpec,
 )
 from repro.service.pool import WorkerPool
+from repro.store.cache import AnalysisCache
 from repro.store.corpus import Corpus
 
 
@@ -54,13 +55,19 @@ def run_repro_job(spec_dict, attempt=1):
             kwargs["memory_model"] = spec.memory_model
         pipeline = ClapPipeline(stored.program, ClapConfig(**kwargs))
         fault_hooks.maybe_slow_solve(spec.faults)
-        report = pipeline.reproduce_offline(stored)
+        cache = None
+        if spec.use_cache:
+            cache = AnalysisCache(os.path.join(spec.corpus_root, "cache"))
+        report = pipeline.reproduce_offline(stored, cache=cache)
         result.status = (
             STATUS_REPRODUCED if report.reproduced else STATUS_FAILED
         )
         result.reason = report.failure_reason
         result.time_symbolic = round(report.time_symbolic, 6)
         result.time_solve = round(report.time_solve, 6)
+        if cache is not None:
+            result.cache = dict(report.cache_stats)
+            result.cache["state"] = report.cache_state
         result.context_switches = report.context_switches
         result.n_constraints = report.n_constraints
         result.n_variables = report.n_variables
@@ -110,12 +117,14 @@ def run_batch(
     faults_by_entry=None,
     sink_path=None,
     on_outcome=None,
+    use_cache=True,
 ):
     """Reproduce every corpus entry; returns (results, aggregate).
 
     ``results`` is a list of :class:`JobResult` in corpus order;
     ``aggregate`` the dict :func:`aggregate_results` builds.
     ``faults_by_entry`` maps entry ids to fault-injection specs.
+    ``use_cache=False`` bypasses the corpus analysis cache entirely.
     """
     corpus = Corpus.open(corpus_root)
     if entry_ids is None:
@@ -129,6 +138,7 @@ def run_batch(
             timeout=timeout,
             max_attempts=max_attempts,
             backoff=backoff,
+            use_cache=use_cache,
             faults=(faults_by_entry or {}).get(entry_id, {}),
         )
         for entry_id in entry_ids
@@ -170,6 +180,9 @@ def aggregate_results(results):
         "total_solve_time": round(sum(solve_times), 6),
         "max_solve_time": round(max(solve_times), 6) if solve_times else 0.0,
         "sat_stats": merge_sat_stats(r.sat_stats for r in results),
+        # Counter-wise sum of the per-job cache counters ('state' is a
+        # string and drops out of the numeric merge).
+        "cache": merge_sat_stats(r.cache for r in results),
     }
 
 
@@ -225,6 +238,18 @@ def format_batch_table(results, aggregate):
         lines.append(
             "sat: "
             + ", ".join("%s=%d" % (k, v) for k, v in sorted(sat.items()))
+        )
+    cache = aggregate.get("cache")
+    if cache:
+        lines.append(
+            "cache: hits=%d misses=%d stale=%d read=%dB written=%dB"
+            % (
+                cache.get("hits", 0),
+                cache.get("misses", 0),
+                cache.get("stale", 0),
+                cache.get("bytes_read", 0),
+                cache.get("bytes_written", 0),
+            )
         )
     if any(r.recovered_trace for r in results):
         lines.append("* reproduced from a crash-recovered trace")

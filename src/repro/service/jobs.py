@@ -44,6 +44,9 @@ class JobSpec:
     max_attempts: int = 3
     # Exponential backoff base: retry n sleeps backoff * 2**(n-1) seconds.
     backoff: float = 0.25
+    # Consult the corpus analysis cache (store.cache): hits skip symexec
+    # and constraint encoding; misses populate it for the next run.
+    use_cache: bool = True
     # Fault injection (see repro.service.faults), e.g.
     # {"kill_worker": {"attempts": [1]}, "slow_solve": {"seconds": 5}}.
     faults: dict = field(default_factory=dict)
@@ -76,6 +79,9 @@ class JobResult:
     n_variables: int = 0
     recovered_trace: bool = False
     sat_stats: dict = field(default_factory=dict)
+    # Analysis-cache outcome: {'state': off|miss|hit, plus the counter
+    # dict from CacheStats.as_dict()} when caching was on.
+    cache: dict = field(default_factory=dict)
     worker_pid: int = 0
 
     @property

@@ -174,7 +174,20 @@ class ClapSmtSolver:
         self.var_atom = {}  # sat var -> atom (only vars actually used)
         uids = list(system.saps)
         self.fixed_edges = [(e.a, e.b) for e in system.hard_edges]
-        self.reach = _Reachability(uids, self.fixed_edges)
+        # The encoder's happens-before closure already is the transitive
+        # closure of the fixed edges; adopt it instead of rebuilding one.
+        # A cyclic closure (inconsistent recording) or a system encoded
+        # without one (hb=False) falls back to the bitset pass, which
+        # raises ValueError on cycles — the unsat signal callers expect.
+        closure = getattr(system, "hb_closure", None)
+        if (
+            closure is not None
+            and not closure.cyclic
+            and closure.n_nodes == len(uids)
+        ):
+            self.reach = closure
+        else:
+            self.reach = _Reachability(uids, self.fixed_edges)
         self._sym_to_read = {}
         for summary in system.summaries.values():
             for name, sap in summary.reads.items():

@@ -15,8 +15,13 @@ the failure it records.  This package makes that durable:
   recorded failure (``trace.clap`` + ``manifest.json`` with program
   source/hash, seed, schedule parameters, bug report and record-overhead
   stats) plus add / load / verify / compact / recover operations.
+* :mod:`repro.store.cache` — the content-addressed analysis cache that
+  lets ``repro batch`` re-runs skip symbolic execution and constraint
+  encoding for (program, trace, memory model, prune config) keys already
+  analyzed.
 """
 
+from repro.store.cache import ANALYSIS_SCHEMA_VERSION, AnalysisCache
 from repro.store.container import (
     ChunkInfo,
     ClapReader,
@@ -33,6 +38,8 @@ from repro.store.corpus import (
 from repro.store.recover import RecoveryError, RecoveryReport, recover_tokens
 
 __all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "AnalysisCache",
     "ChunkInfo",
     "ClapReader",
     "ClapWriter",

@@ -1,0 +1,197 @@
+"""Content-addressed analysis cache: skip symexec + encode on re-runs.
+
+The offline front end — decode, symbolic re-execution, constraint
+encoding — is a pure function of (program, per-thread path logs, memory
+model, prune configuration).  ``repro batch`` re-runs the same corpus
+entries over and over (new solver, regression sweeps, CI), so this cache
+persists the front end's output inside the corpus directory and replays
+it on hits, driving the re-analysis cost per run toward zero.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the sha256 of a
+canonical JSON *key material* dict::
+
+    {"program":      sha256 of the compiled program,
+     "trace":        sha256 over every thread's encoded token stream,
+     "memory_model": "sc" | "tso" | "pso",
+     "prune":        {"hb": bool, "static": bool}}
+
+The payload is a pickle holding the schema version, the key material,
+the thread summaries, the encoded :class:`ConstraintSystem` and the
+constraint-stats snapshot.  A lookup whose stored schema version or
+prune configuration no longer matches the request is *stale*: it is
+deleted, counted (``CacheStats.stale``) and reported as a miss —
+``repro corpus verify`` performs the same check corpus-wide.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+
+from repro.constraints.stats import CacheStats
+from repro.tracing.logfmt import encode_tokens
+
+# Bump whenever the pickled payload shape, the ThreadSummary /
+# ConstraintSystem classes, or the encoding rules change incompatibly:
+# every existing entry then invalidates itself on first touch.
+ANALYSIS_SCHEMA_VERSION = 1
+
+
+class AnalysisCache:
+    """One cache directory (normally ``<corpus>/cache``) plus counters."""
+
+    def __init__(self, root):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- keying ----------------------------------------------------------
+
+    @staticmethod
+    def program_fingerprint(program):
+        """Content hash of a compiled program.
+
+        Compiled programs are deterministic pickles of their source (the
+        compiler is pure), so the pickle is a faithful content address;
+        any recompile of identical source maps to the same entry.
+        """
+        return hashlib.sha256(pickle.dumps(program)).hexdigest()
+
+    @staticmethod
+    def trace_fingerprint(recorder):
+        """Content hash over every thread's encoded token stream.
+
+        ``recorder`` is anything with a ``logs`` dict of per-thread token
+        lists — a live ``PathRecorder`` or a ``StoredTrace``.
+        """
+        digest = hashlib.sha256()
+        for thread in sorted(recorder.logs):
+            digest.update(thread.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(encode_tokens(recorder.logs[thread]))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    @classmethod
+    def key_material(cls, program, recorder, memory_model, prune_config):
+        return {
+            "program": cls.program_fingerprint(program),
+            "trace": cls.trace_fingerprint(recorder),
+            "memory_model": memory_model,
+            "prune": dict(prune_config),
+        }
+
+    @staticmethod
+    def key_of(material):
+        canon = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- lookups ---------------------------------------------------------
+
+    def load(self, material):
+        """Return the payload dict for ``material``, or None on a miss.
+
+        Stale entries (schema or prune-config mismatch, unreadable
+        pickle) are deleted and counted as both ``stale`` and a miss.
+        """
+        key = self.key_of(material)
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            payload = pickle.loads(blob)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            payload = None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != ANALYSIS_SCHEMA_VERSION
+            or payload.get("material", {}).get("prune") != material["prune"]
+        ):
+            self._discard(path)
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(blob)
+        return payload
+
+    def store(self, material, summaries, system, stats_dict=None):
+        """Persist one front-end result; returns the entry key."""
+        key = self.key_of(material)
+        path = self._path(key)
+        payload = {
+            "schema": ANALYSIS_SCHEMA_VERSION,
+            "material": material,
+            "summaries": summaries,
+            "system": system,
+            "stats": stats_dict or {},
+        }
+        blob = pickle.dumps(payload)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)  # atomic: readers never see a torn entry
+        self.stats.bytes_written += len(blob)
+        return key
+
+    @staticmethod
+    def _discard(path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def entry_paths(self):
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in sorted(filenames):
+                if filename.endswith(".pkl"):
+                    found.append(os.path.join(dirpath, filename))
+        return sorted(found)
+
+    def verify(self, remove=True):
+        """Check every entry; returns [(path, problem), ...] for the bad.
+
+        An entry is bad when its pickle is unreadable, its stored schema
+        version is not the current one, or the sha256 of its stored key
+        material no longer matches its filename (so the payload could
+        never be legitimately returned for its key).  Bad entries are
+        deleted when ``remove`` is set — the ``repro corpus verify``
+        behavior.
+        """
+        problems = []
+        for path in self.entry_paths():
+            problem = None
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.loads(fh.read())
+            except Exception as exc:
+                problem = "unreadable: %s" % (exc,)
+                payload = None
+            if problem is None and (
+                not isinstance(payload, dict)
+                or payload.get("schema") != ANALYSIS_SCHEMA_VERSION
+            ):
+                problem = "schema %r != current %d" % (
+                    payload.get("schema") if isinstance(payload, dict) else None,
+                    ANALYSIS_SCHEMA_VERSION,
+                )
+            if problem is None:
+                expected = os.path.basename(path)[: -len(".pkl")]
+                if self.key_of(payload.get("material", {})) != expected:
+                    problem = "key material does not hash to the filename"
+            if problem is not None:
+                problems.append((path, problem))
+                if remove:
+                    self._discard(path)
+                    self.stats.stale += 1
+        return problems

@@ -1,0 +1,71 @@
+"""parallel_summaries == execute_recorded_paths, plus its fallbacks."""
+
+import pytest
+
+from repro.analysis.symexec import (
+    PARALLEL_MIN_BLOCKS,
+    execute_recorded_paths,
+    parallel_summaries,
+)
+from repro.bench.programs import get_benchmark
+from repro.constraints.encoder import encode
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.tracing.decoder import decode_log
+
+
+@pytest.fixture(scope="module", params=["swarm", "racey"])
+def recorded_bench(request):
+    bench = get_benchmark(request.param)
+    prog = bench.compile()
+    pipeline = ClapPipeline(prog, ClapConfig(**bench.config_kwargs()))
+    recorded = pipeline.record()
+    decoded = decode_log(recorded.recorder)
+    return bench, prog, pipeline.shared, recorded, decoded
+
+
+def test_parallel_matches_serial(recorded_bench):
+    bench, prog, shared, recorded, decoded = recorded_bench
+    serial = execute_recorded_paths(prog, decoded, shared, bug=recorded.bug)
+    par = parallel_summaries(
+        prog,
+        decoded,
+        shared,
+        bug=recorded.bug,
+        workers=2,
+        min_blocks=0,  # force the pool even for small traces
+    )
+    assert set(par) == set(serial)
+    for thread in serial:
+        # Semantic equality; pickle bytes may differ (frozenset order).
+        assert par[thread] == serial[thread], thread
+    # And the summaries encode to the same constraint system shape.
+    s1 = encode(serial, bench.memory_model, prog.symbols, shared)
+    s2 = encode(par, bench.memory_model, prog.symbols, shared)
+    assert s1.rf_candidates == s2.rf_candidates
+    assert len(s1.clauses) == len(s2.clauses)
+
+
+def test_small_trace_falls_back_to_serial(recorded_bench, monkeypatch):
+    _bench, prog, shared, recorded, decoded = recorded_bench
+
+    def boom(*_args, **_kwargs):  # pragma: no cover - must not be reached
+        raise AssertionError("WorkerPool must not be constructed")
+
+    import repro.service.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod, "WorkerPool", boom)
+    total = sum(t.total_blocks() for t in decoded.values())
+    # Below the block threshold, with one worker, the pool is never built.
+    for kwargs in (
+        {"workers": 1},
+        {"workers": 4, "min_blocks": total + 1},
+    ):
+        summaries = parallel_summaries(
+            prog, decoded, shared, bug=recorded.bug, **kwargs
+        )
+        serial = execute_recorded_paths(prog, decoded, shared, bug=recorded.bug)
+        assert summaries.keys() == serial.keys()
+
+
+def test_threshold_default_is_conservative():
+    assert PARALLEL_MIN_BLOCKS >= 256  # fork cost dominates tiny traces

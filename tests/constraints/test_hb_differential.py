@@ -1,0 +1,187 @@
+"""Differential equisatisfiability: HB-closed encoding vs the raw one.
+
+The HB closure drops rf candidates and skips rf-before/rf-nomid/rf-init
+clauses *unconditionally* — no race-free certificate involved — so the
+pruned system must agree with the raw (``hb=False``) encoding on every
+program: same SAT verdict, and when satisfiable the solved schedule must
+replay to the same failure.  Checked on litmus-shaped assert programs
+under all three memory models and on the full Table-1 suite.
+"""
+
+import pytest
+
+from repro.analysis.escape import shared_variables
+from repro.analysis.symexec import execute_recorded_paths
+from repro.bench.programs import TABLE1_NAMES, get_benchmark
+from repro.constraints.encoder import encode
+from repro.constraints.stats import compute_stats
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.minilang import compile_source
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.replay import replay_schedule
+from repro.runtime.scheduler import RandomScheduler
+from repro.solver.smt import solve_constraints
+from repro.tracing.decoder import decode_log
+from repro.tracing.recorder import PathRecorder
+
+# Litmus shapes instrumented with a failing assert.  Which models can
+# manifest each bug differs (SB/MP need store-buffer reordering), so the
+# record loop skips model/program pairs whose bug never shows up.
+RACY_INCR_SRC = """
+int x = 0;
+void w() { int r = x; yield; x = r + 1; }
+int main() {
+    int t1 = 0;
+    int t2 = 0;
+    t1 = spawn w();
+    t2 = spawn w();
+    join(t1);
+    join(t2);
+    assert(x == 2);
+    return 0;
+}
+"""
+
+SB_ASSERT_SRC = """
+int x = 0;
+int y = 0;
+int r1 = 0;
+int r2 = 0;
+void t1() { x = 1; r1 = y; }
+void t2() { y = 1; r2 = x; }
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn t1();
+    h2 = spawn t2();
+    join(h1);
+    join(h2);
+    assert(r1 + r2 > 0);
+    return 0;
+}
+"""
+
+MP_ASSERT_SRC = """
+int data = 0;
+int flag = 0;
+int seen = 0;
+int got = 0;
+void prod() { data = 42; flag = 1; }
+void cons() { seen = flag; got = data; }
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn prod();
+    h2 = spawn cons();
+    join(h1);
+    join(h2);
+    assert(seen == 0 || got == 42);
+    return 0;
+}
+"""
+
+LITMUS_SOURCES = {
+    "racy_incr": RACY_INCR_SRC,
+    "sb": SB_ASSERT_SRC,
+    "mp": MP_ASSERT_SRC,
+}
+
+
+def record_failure(src, memory_model, seeds=range(400)):
+    """(program, shared, summaries, bug) of a failing run, or None."""
+    prog = compile_source(src)
+    shared = shared_variables(prog)
+    for seed in seeds:
+        recorder = PathRecorder(prog)
+        interp = Interpreter(
+            prog,
+            memory_model=memory_model,
+            scheduler=RandomScheduler(seed, stickiness=0.4, flush_prob=0.25),
+            shared=shared,
+            hooks=[recorder],
+        )
+        result = interp.run()
+        recorder.finalize(interp)
+        if result.bug is not None and result.bug.kind == "assertion":
+            summaries = execute_recorded_paths(
+                prog, decode_log(recorder), shared, bug=result.bug
+            )
+            return prog, shared, summaries, result.bug
+    return None
+
+
+def assert_differential(prog, shared, summaries, bug, memory_model):
+    raw = encode(summaries, memory_model, prog.symbols, shared, hb=False)
+    hb = encode(summaries, memory_model, prog.symbols, shared)
+    # The HB-closed system is a syntactic shrink of the raw one.
+    for read_uid, sources in hb.rf_candidates.items():
+        assert set(sources) <= set(raw.rf_candidates[read_uid])
+    assert compute_stats(raw).n_clauses >= compute_stats(hb).n_clauses
+    r_raw = solve_constraints(raw, max_seconds=60)
+    r_hb = solve_constraints(hb, max_seconds=60)
+    assert r_raw.ok == r_hb.ok
+    if not r_hb.ok:
+        return
+    # Both schedules must replay to the same observed failure.
+    for solved in (r_raw, r_hb):
+        outcome = replay_schedule(
+            prog,
+            solved.schedule,
+            memory_model,
+            shared=shared,
+            expected_bug=bug,
+        )
+        assert outcome.reproduced, outcome
+
+
+@pytest.mark.parametrize("memory_model", ["sc", "tso", "pso"])
+@pytest.mark.parametrize("name", sorted(LITMUS_SOURCES))
+def test_litmus_hb_encoding_equisatisfiable(name, memory_model):
+    recorded = record_failure(LITMUS_SOURCES[name], memory_model)
+    if recorded is None:
+        pytest.skip("%s bug does not manifest under %s" % (name, memory_model))
+    prog, shared, summaries, bug = recorded
+    assert_differential(prog, shared, summaries, bug, memory_model)
+
+
+_TABLE1 = {}
+
+
+def table1_artifacts(name):
+    """One recorded failure per Table-1 benchmark, cached for the module."""
+    if name not in _TABLE1:
+        bench = get_benchmark(name)
+        prog = bench.compile()
+        pipeline = ClapPipeline(prog, ClapConfig(**bench.config_kwargs()))
+        recorded = pipeline.record()
+        summaries = execute_recorded_paths(
+            prog,
+            decode_log(recorded.recorder),
+            pipeline.shared,
+            bug=recorded.bug,
+        )
+        _TABLE1[name] = (
+            prog,
+            pipeline.shared,
+            summaries,
+            recorded.bug,
+            bench.memory_model,
+        )
+    return _TABLE1[name]
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_table1_hb_encoding_equisatisfiable(name):
+    prog, shared, summaries, bug, memory_model = table1_artifacts(name)
+    assert_differential(prog, shared, summaries, bug, memory_model)
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_table1_hb_closure_prunes_something(name):
+    prog, shared, summaries, _bug, memory_model = table1_artifacts(name)
+    hb = encode(summaries, memory_model, prog.symbols, shared)
+    stats = hb.prune_stats
+    assert stats is not None
+    # Every benchmark forks and joins, so the closure always proves at
+    # least some rf-before/rf-nomid clauses tautological.
+    assert stats.clauses_pruned > 0

@@ -60,11 +60,18 @@ def record(src, memory_model="sc", require_bug=True, seeds=range(300)):
     raise AssertionError("bug never manifested")
 
 
-def encode_both(src, memory_model="sc", **kwargs):
+def encode_three(src, memory_model="sc", **kwargs):
+    """(raw, hb, static): unpruned, HB-closed, HB-closed + static rules."""
     prog, shared, summaries = record(src, memory_model=memory_model, **kwargs)
     info = compute_prune_info(prog)
+    raw = encode(summaries, memory_model, prog.symbols, shared, hb=False)
     base = encode(summaries, memory_model, prog.symbols, shared)
     pruned = encode(summaries, memory_model, prog.symbols, shared, prune=info)
+    return raw, base, pruned
+
+
+def encode_both(src, memory_model="sc", **kwargs):
+    _, base, pruned = encode_three(src, memory_model=memory_model, **kwargs)
     return base, pruned
 
 
@@ -85,36 +92,41 @@ def test_must_order_closure_refuses_cycles():
 
 
 def test_pruned_candidates_are_subset():
-    base, pruned = encode_both(RACE_SRC)
+    raw, base, pruned = encode_three(RACE_SRC)
+    for read_uid, sources in base.rf_candidates.items():
+        assert set(sources) <= set(raw.rf_candidates[read_uid])
     for read_uid, sources in pruned.rf_candidates.items():
         assert set(sources) <= set(base.rf_candidates[read_uid])
     assert pruned.prune_stats is not None
-    assert base.prune_stats is None
+    assert base.prune_stats is not None  # HB pruning is always on
+    assert raw.prune_stats is None  # hb=False is the one raw escape hatch
 
 
 def test_stats_account_for_every_removed_candidate():
-    base, pruned = encode_both(RACE_SRC)
-    sb, sp = compute_stats(base), compute_stats(pruned)
-    assert sb.n_choice_vars - sp.n_choice_vars == sp.n_pruned_choice_vars
-    assert sp.n_pruned_choice_vars > 0  # fork/join always proves something
-    assert sb.n_clauses >= sp.n_clauses
+    raw, base, pruned = encode_three(RACE_SRC)
+    sraw, sb, sp = compute_stats(raw), compute_stats(base), compute_stats(pruned)
+    # Prune counters are always relative to the raw encoding.
+    assert sraw.n_choice_vars - sb.n_choice_vars == sb.n_pruned_choice_vars
+    assert sraw.n_choice_vars - sp.n_choice_vars == sp.n_pruned_choice_vars
+    assert sb.n_pruned_choice_vars > 0  # fork/join always proves something
+    assert sraw.n_clauses >= sb.n_clauses >= sp.n_clauses
 
 
 def test_join_read_prunes_init_and_is_forced_to_write():
-    base, pruned = encode_both(JOIN_READ_SRC)
-    # main's post-join read of x: in the pruned system INIT is gone and
-    # the shadowed pre-spawn write too, leaving exactly the worker write.
+    raw, base, _pruned = encode_three(JOIN_READ_SRC)
+    # main's post-join read of x: the HB closure drops INIT and the
+    # shadowed pre-spawn write, leaving exactly the worker write.
     post_join_reads = [
         uid
-        for uid, sources in base.rf_candidates.items()
+        for uid, sources in raw.rf_candidates.items()
         if len(sources) >= 3
         and any(s == INIT for s in sources)
-        and base.sap(uid).addr == ("x",)
+        and raw.sap(uid).addr == ("x",)
     ]
     assert post_join_reads
     for uid in post_join_reads:
-        assert len(pruned.rf_candidates[uid]) < len(base.rf_candidates[uid])
-        assert INIT not in pruned.rf_candidates[uid]
+        assert len(base.rf_candidates[uid]) < len(raw.rf_candidates[uid])
+        assert INIT not in base.rf_candidates[uid]
 
 
 @pytest.mark.parametrize("src", [RACE_SRC, LOCKED_SRC, JOIN_READ_SRC])

@@ -1,0 +1,122 @@
+"""Batch + analysis cache: second run hits, results unchanged."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.clap import ClapConfig
+from repro.service import JsonlSink, format_batch_table, run_batch
+from repro.store import Corpus
+from repro.store.cache import AnalysisCache
+
+from tests.conftest import RACE_SRC
+
+ORDER_SRC = """
+int ready = 0;
+int data = 0;
+
+void producer() {
+    data = 41;
+    ready = 1;
+}
+
+int main() {
+    int t = 0;
+    t = spawn producer();
+    if (ready == 1) {
+        assert(data == 42);
+    }
+    join(t);
+    return 0;
+}
+"""
+
+# Fields that legitimately differ between byte-identical reproductions:
+# wall clocks, worker identity, and the cache counters themselves.
+VOLATILE_FIELDS = (
+    "wall_time",
+    "time_symbolic",
+    "time_solve",
+    "worker_pid",
+    "cache",
+)
+
+
+def normalized(records):
+    out = []
+    for record in records:
+        out.append({k: v for k, v in record.items() if k not in VOLATILE_FIELDS})
+    return out
+
+
+@pytest.fixture(scope="module")
+def corpus_root(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("corpus"))
+    corpus = Corpus.create(root)
+    corpus.add(RACE_SRC, name="race", config=ClapConfig(seeds=range(50)))
+    corpus.add(ORDER_SRC, name="order", config=ClapConfig(seeds=range(200)))
+    return root
+
+
+def test_second_batch_run_hits_cache(corpus_root, tmp_path):
+    sink1 = str(tmp_path / "run1.jsonl")
+    sink2 = str(tmp_path / "run2.jsonl")
+
+    results1, agg1 = run_batch(corpus_root, jobs=2, sink_path=sink1)
+    assert agg1["reproduced"] == 2
+    assert agg1["cache"]["misses"] == 2
+    assert agg1["cache"]["hits"] == 0
+    assert agg1["cache"]["bytes_written"] > 0
+    assert os.path.isdir(os.path.join(corpus_root, "cache"))
+
+    results2, agg2 = run_batch(corpus_root, jobs=2, sink_path=sink2)
+    assert agg2["reproduced"] == 2
+    assert agg2["cache"]["hits"] == 2
+    assert agg2["cache"]["misses"] == 0
+    assert agg2["cache"]["stale"] == 0
+    assert agg2["cache"]["bytes_read"] == agg1["cache"]["bytes_written"]
+    for result in results2:
+        assert result.cache["state"] == "hit"
+
+    # Modulo volatile fields (wall clocks, pids, the cache counters),
+    # the cached run's JSONL is byte-for-byte the uncached run's.
+    rec1 = sorted(JsonlSink.read(sink1), key=lambda r: r["entry_id"])
+    rec2 = sorted(JsonlSink.read(sink2), key=lambda r: r["entry_id"])
+    n1, n2 = normalized(rec1), normalized(rec2)
+    assert [json.dumps(r, sort_keys=True) for r in n1] == [
+        json.dumps(r, sort_keys=True) for r in n2
+    ]
+
+    table = format_batch_table(results2, agg2)
+    assert "cache: hits=2 misses=0 stale=0" in table
+
+
+def test_no_cache_flag_bypasses_cache(corpus_root, tmp_path):
+    results, aggregate = run_batch(
+        corpus_root,
+        jobs=2,
+        sink_path=str(tmp_path / "nocache.jsonl"),
+        use_cache=False,
+    )
+    assert aggregate["reproduced"] == 2
+    assert aggregate["cache"] == {}
+    assert all(r.cache == {} for r in results)
+    table = format_batch_table(results, aggregate)
+    assert "cache:" not in table
+
+
+def test_batch_recovers_from_stale_cache_entries(corpus_root, tmp_path):
+    cache = AnalysisCache(os.path.join(corpus_root, "cache"))
+    paths = cache.entry_paths()
+    assert paths  # populated by the earlier run
+    for path in paths:
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+    results, aggregate = run_batch(
+        corpus_root, jobs=2, sink_path=str(tmp_path / "stale.jsonl")
+    )
+    assert aggregate["reproduced"] == 2
+    assert aggregate["cache"]["stale"] == 2
+    assert aggregate["cache"]["misses"] == 2  # re-analyzed and re-stored
+    assert all(r.status == "reproduced" for r in results)

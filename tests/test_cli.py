@@ -196,3 +196,68 @@ def test_batch_cli(corpus_dir, tmp_path, capsys):
     lines = [json.loads(l) for l in open(sink) if l.strip()]
     assert len(lines) == 1
     assert lines[0]["status"] == "reproduced"
+
+
+def test_reproduce_profile_output(race_file, capsys):
+    code = main(["reproduce", race_file, "--max-seeds", "60", "--profile"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profile:" in out
+    for phase in ("record", "symexec", "encode", "solve", "replay"):
+        assert phase in out
+    assert "cache" in out
+    assert "off" in out  # no cache attached on plain reproduce
+    assert "pruned" in out and "hb closure" in out
+
+
+def test_reproduce_json_output(race_file, capsys):
+    code = main(["reproduce", race_file, "--max-seeds", "60", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["reproduced"] is True
+    assert payload["program"].endswith("race.ml")
+    profile = payload["profile"]
+    assert profile["cache"] == "off"
+    for phase in ("record", "symexec", "encode", "solve", "replay"):
+        assert profile[phase] >= 0.0
+    assert payload["n_pruned_choice_vars"] > 0
+    assert payload["n_pruned_clauses"] > 0
+    assert payload["schedule"]  # "thread#index" strings
+    assert all("#" in step for step in payload["schedule"])
+
+
+def test_batch_cli_cache_and_verify(corpus_dir, tmp_path, capsys):
+    import os
+    import pickle
+
+    sink1 = str(tmp_path / "r1.jsonl")
+    assert main(["batch", corpus_dir, "--out", sink1, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "cache: hits=0 misses=1" in out
+
+    sink2 = str(tmp_path / "r2.jsonl")
+    assert main(["batch", corpus_dir, "--out", sink2, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "cache: hits=1 misses=0" in out
+
+    # --no-cache bypasses it entirely.
+    assert main(["batch", corpus_dir, "--no-cache", "--quiet"]) == 0
+    assert "cache:" not in capsys.readouterr().out
+
+    # corpus verify checks cache entries and removes stale ones.
+    cache_root = os.path.join(corpus_dir, "cache")
+    entries = []
+    for dirpath, _dirs, files in os.walk(cache_root):
+        entries += [os.path.join(dirpath, f) for f in files if f.endswith(".pkl")]
+    assert entries
+    with open(entries[0], "rb") as fh:
+        payload = pickle.loads(fh.read())
+    payload["schema"] = -1
+    with open(entries[0], "wb") as fh:
+        fh.write(pickle.dumps(payload))
+    assert main(["corpus", "verify", corpus_dir]) == 0  # self-healing
+    out = capsys.readouterr().out
+    assert "STALE (removed)" in out
+    assert "1 stale removed" in out
+    assert not os.path.exists(entries[0])
