@@ -1,0 +1,99 @@
+"""Explore-mode benchmark: witness search cost on the seeded examples.
+
+For each seeded-bug example the static pass proposes one SR3xx
+predicate; the explore driver must find a replay-validated witness
+using only passing recordings.  The table records the wall-clock of
+the search, the number of schedules the bound ladder enumerated, and
+the context-switch bound of the winning round.  Machine-readable
+results land in ``results/BENCH_explore.json`` (uploaded by the CI
+``explore`` job); the gate fails when any example misses its witness
+or blows the per-example wall-clock budget.
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.core.explore import ExploreConfig, explore_program
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+EXAMPLES = {
+    "atomicity_ctr": "SR301",
+    "order_uninit": "SR302",
+    "lost_notify": "SR303",
+}
+
+# Generous CI budget: the searches take well under a second locally.
+MAX_SECONDS_PER_EXAMPLE = 60.0
+
+_PAYLOAD = {"examples": {}}
+
+
+def _source(name):
+    path = os.path.join(ROOT, "examples", "minilang", name + ".ml")
+    with open(path) as fh:
+        return fh.read()
+
+
+def test_explore_witness_benchmark():
+    rows = []
+    for name in sorted(EXAMPLES):
+        t0 = time.monotonic()
+        report = explore_program(
+            _source(name), ExploreConfig(max_seeds=32), name=name
+        )
+        wall = time.monotonic() - t0
+        assert len(report.targets) == 1, name
+        target = report.targets[0]
+
+        # The gate: a replay-validated witness, inside the budget.
+        assert target.code == EXAMPLES[name], name
+        assert target.status == "witness", (name, target.status)
+        assert target.replay_validated, name
+        assert wall <= MAX_SECONDS_PER_EXAMPLE, (name, wall)
+        assert target.schedules_enumerated >= 1, name
+        assert 0 <= target.bound <= ExploreConfig().max_cs, name
+
+        _PAYLOAD["examples"][name] = {
+            "code": target.code,
+            "status": target.status,
+            "wall_seconds": round(wall, 4),
+            "search_seconds": round(target.time_search, 4),
+            "schedules_enumerated": target.schedules_enumerated,
+            "bound": target.bound,
+            "max_cs": ExploreConfig().max_cs,
+            "rung": target.rung,
+            "attempts": target.attempts,
+            "seeds_scanned": report.seeds_scanned,
+            "passing_runs": report.passing_runs,
+            "schedule_length": len(target.schedule),
+        }
+        rows.append(
+            "%-14s %s %-8s %8.3fs %10d enum / cs<=%d  rung=%d seeds=%d"
+            % (
+                name,
+                target.code,
+                target.status,
+                wall,
+                target.schedules_enumerated,
+                target.bound,
+                target.rung,
+                report.seeds_scanned,
+            )
+        )
+
+    header = (
+        "explore witness search (predicate -> goal solve -> replay)\n"
+        "%-14s %s %-8s %9s %24s" % ("program", "code", "status", "wall", "search")
+    )
+    emit("explore_bench.txt", header + "\n" + "\n".join(rows))
+
+    results_dir = os.path.join(ROOT, "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_explore.json")
+    with open(path, "w") as fh:
+        json.dump(_PAYLOAD, fh, indent=2)
+        fh.write("\n")
+    print("[saved to %s]" % path)

@@ -1,0 +1,25 @@
+// SR301 seeded bug: each half of the increment is locked, but the
+// read-modify-write *span* is not — two workers can interleave between
+// the two critical sections and lose an update (c == 1, assert fails).
+int c = 0;
+mutex m;
+
+void worker() {
+    lock(m);
+    int t = c;
+    unlock(m);
+    lock(m);
+    c = t + 1;
+    unlock(m);
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn worker();
+    h2 = spawn worker();
+    join(h1);
+    join(h2);
+    assert(c == 2);
+    return 0;
+}

@@ -1,0 +1,22 @@
+// Fixed variant of atomicity_ctr: the whole read-modify-write span sits
+// inside one critical section, so no interleaving can lose an update.
+int c = 0;
+mutex m;
+
+void worker() {
+    lock(m);
+    int t = c;
+    c = t + 1;
+    unlock(m);
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn worker();
+    h2 = spawn worker();
+    join(h1);
+    join(h2);
+    assert(c == 2);
+    return 0;
+}

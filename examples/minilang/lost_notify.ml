@@ -1,0 +1,31 @@
+// SR303 seeded bug: main fires a naked signal(cv) without holding the
+// waiter's mutex.  If that signal wakes the wait, the waiter observes
+// `value` before main publishes it under the lock (v == 0, assert
+// fails); if the waiter has not registered yet the wakeup is lost.
+int value = 0;
+int done = 0;
+mutex m;
+cond cv;
+
+void waiter() {
+    lock(m);
+    if (done == 0) {
+        wait(cv, m);
+    }
+    int v = value;
+    unlock(m);
+    assert(v == 7);
+}
+
+int main() {
+    int h = 0;
+    h = spawn waiter();
+    signal(cv);
+    lock(m);
+    value = 7;
+    done = 1;
+    signal(cv);
+    unlock(m);
+    join(h);
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Fixed variant of lost_notify: the only signal fires while holding the
+// waiter's mutex, after the predicate and payload are published — the
+// waiter can never wake to a half-published state.
+int value = 0;
+int done = 0;
+mutex m;
+cond cv;
+
+void waiter() {
+    lock(m);
+    if (done == 0) {
+        wait(cv, m);
+    }
+    int v = value;
+    unlock(m);
+    assert(v == 7);
+}
+
+int main() {
+    int h = 0;
+    h = spawn waiter();
+    lock(m);
+    value = 7;
+    done = 1;
+    signal(cv);
+    unlock(m);
+    join(h);
+    return 0;
+}

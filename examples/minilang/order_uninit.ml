@@ -1,0 +1,19 @@
+// SR302 seeded bug: main publishes `data` only *after* spawning the
+// reader, so the reader may consume the uninitialized value (v == 0,
+// out == 1, assert fails).
+int data = 0;
+int out = 0;
+
+void reader() {
+    int v = data;
+    out = v + 1;
+}
+
+int main() {
+    int h = 0;
+    h = spawn reader();
+    data = 42;
+    join(h);
+    assert(out == 43);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// Fixed variant of order_uninit: `data` is initialized before the
+// reader thread exists, so the spawn edge orders init before use.
+int data = 0;
+int out = 0;
+
+void reader() {
+    int v = data;
+    out = v + 1;
+}
+
+int main() {
+    int h = 0;
+    data = 42;
+    h = spawn reader();
+    join(h);
+    assert(out == 43);
+    return 0;
+}

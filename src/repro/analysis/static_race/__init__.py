@@ -19,6 +19,11 @@ version of the second half, operating on MiniLang bytecode CFGs:
     proven-race-free pair set used for constraint pruning.
 ``lockorder``
     Lock-order graph (acquires-while-holding) and deadlock cycles.
+``valueflow``
+    Operand-stack def-use provenance and must-init dataflow.
+``patterns``
+    SR3xx bug-pattern passes (atomicity, order, lost-notify) whose
+    findings double as violation predicates for ``repro explore``.
 ``diagnostics``
     Stable diagnostic codes, severities, text and JSON rendering.
 ``prune``
@@ -35,6 +40,11 @@ from repro.analysis.static_race.diagnostics import Diagnostic, StaticReport
 from repro.analysis.static_race.lockorder import analyze_lock_order
 from repro.analysis.static_race.locksets import compute_locksets
 from repro.analysis.static_race.mhp import MHPInfo, compute_mhp
+from repro.analysis.static_race.patterns import (
+    PatternReport,
+    ViolationPredicate,
+    find_bug_patterns,
+)
 from repro.analysis.static_race.prune import StaticPruneInfo, compute_prune_info
 from repro.analysis.static_race.races import RaceAnalysis, analyze_races
 from repro.analysis.static_race.report import analyze_program
@@ -44,9 +54,11 @@ __all__ = [
     "AccessSite",
     "Diagnostic",
     "MHPInfo",
+    "PatternReport",
     "RaceAnalysis",
     "StaticPruneInfo",
     "StaticReport",
+    "ViolationPredicate",
     "analyze_lock_order",
     "analyze_program",
     "analyze_races",
@@ -54,4 +66,5 @@ __all__ = [
     "compute_locksets",
     "compute_mhp",
     "compute_prune_info",
+    "find_bug_patterns",
 ]

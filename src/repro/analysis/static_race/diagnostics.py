@@ -8,15 +8,24 @@ Codes
 ``SR102``  self-deadlock: re-acquiring a held non-reentrant mutex (error)
 ``SR201``  shared variable (info)
 ``SR202``  thread-local variable (info)
+``SR301``  atomicity violation: unprotected RMW/check-then-act span (warning)
+``SR302``  order violation: cross-thread use-before-init (warning)
+``SR303``  lost notify: condvar signal not under the wait's mutex (warning)
 
-The JSON shape is stable: ``{"program", "diagnostics": [{"code",
-"severity", "message", "var", "locations": [{"func", "line"}]}],
-"summary": {...}}`` — consumers (CI lint gates, editors) key off
-``code`` and ``severity``, never off message text.
+The JSON shape is stable and versioned: ``{"schema_version", "program",
+"diagnostics": [{"code", "severity", "message", "var", "locations":
+[{"func", "line"}]}], "summary": {...}}`` — consumers (CI lint gates,
+editors) key off ``code`` and ``severity``, never off message text.
+Diagnostics are sorted by (code, function, site) so the output is
+byte-for-byte deterministic; ``schema_version`` bumps whenever a key is
+added, removed, or the sort order changes.
 """
 
 import json
 from dataclasses import dataclass, field
+
+# Version of the `repro analyze --json` payload (golden-file tested).
+SCHEMA_VERSION = 1
 
 ERROR = "error"
 WARNING = "warning"
@@ -76,16 +85,14 @@ class StaticReport:
         self.diagnostics.append(diag)
 
     def sorted_diagnostics(self):
+        # Order pinned by the JSON schema: (code, function, site), so the
+        # rendered output is deterministic across runs and dict orders.
         return sorted(
             self.diagnostics,
             key=lambda d: (
-                _SEVERITY_RANK.get(d.severity, 9),
                 d.code,
+                [(loc.func, loc.line) for loc in d.locations],
                 d.var or "",
-                [(
-                    loc.func,
-                    loc.line,
-                ) for loc in d.locations],
             ),
         )
 
@@ -137,6 +144,7 @@ class StaticReport:
 
     def to_json(self):
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "program": self.program_name,
             "variables": {
                 var: {

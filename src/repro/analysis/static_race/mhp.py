@@ -72,6 +72,7 @@ class MHPInfo:
         self._solve_liveness()
         self.ctx_live = self._propagate_context()
         self.colive = self._collect_colive()
+        self.startable = self._startable_closure()
 
     # -- queries ---------------------------------------------------------
 
@@ -81,10 +82,17 @@ class MHPInfo:
 
     def live_targets(self, point, func):
         """Root names possibly running in parallel while ``func`` sits at
-        ``point`` (spawned by this function or by a caller, not joined)."""
+        ``point`` (spawned by this function or by a caller, not joined).
+
+        The set is closed over transitive spawning: a live thread's own
+        (possibly unjoined) spawns run within the same window, so a
+        grandchild thread is parallel with this point too."""
         live = set(self.live_at.get(point, _EMPTY))
         live |= self.ctx_live.get(func, _EMPTY)
-        return {site.target for site in live}
+        targets = set()
+        for site in live:
+            targets |= self.startable.get(site.target, frozenset({site.target}))
+        return targets
 
     def self_parallel(self, root):
         """Can two instances of ``root``'s thread run simultaneously?"""
@@ -103,14 +111,58 @@ class MHPInfo:
                     if self.self_parallel(ra):
                         return True
                     continue  # one single thread: program-ordered
-                pair = (ra, rb) if ra < rb else (rb, ra)
-                if pair in self.colive:
+                # Colive pairs expand over transitive spawning too: if x
+                # and y are simultaneously live and can start ra and rb,
+                # the started threads may overlap as well (may-direction:
+                # over-approximating is sound).
+                ex_a = {
+                    x
+                    for x, started in self.startable.items()
+                    if ra in started
+                }
+                ex_b = {
+                    y
+                    for y, started in self.startable.items()
+                    if rb in started
+                }
+                if any(
+                    ((x, y) if x < y else (y, x)) in self.colive
+                    for x in ex_a
+                    for y in ex_b
+                ):
                     return True
                 if rb in self.live_targets(site_a.point, site_a.func):
                     return True
                 if ra in self.live_targets(site_b.point, site_b.func):
                     return True
         return False
+
+    def _startable_closure(self):
+        """{root: roots transitively startable from it, itself included}.
+
+        A thread of root ``r`` may execute any function in ``reach[r]``;
+        every spawn site in those functions can start another root, which
+        can start more in turn.  Closing over this is what makes nested
+        fork patterns (worker spawns sub-worker) sound."""
+        direct = {}
+        for root, funcs in self.reach.items():
+            targets = set()
+            for (func, _b, _i), site in self._spawn_sites.items():
+                if func in funcs:
+                    targets.add(site.target)
+            direct[root] = targets
+        closure = {r: set(t) for r, t in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for r in closure:
+                grown = set()
+                for t in closure[r]:
+                    grown |= closure.get(t, set())
+                if not grown <= closure[r]:
+                    closure[r] |= grown
+                    changed = True
+        return {r: frozenset(t | {r}) for r, t in closure.items()}
 
     # -- liveness dataflow ----------------------------------------------
 

@@ -1,0 +1,389 @@
+"""SR3xx bug-pattern passes: atomicity, order, and lost-notify.
+
+Three interprocedural pattern detectors layered on the existing oracles
+(MHP from :mod:`mhp`, must-locksets from :mod:`locksets`, value flow and
+must-init from :mod:`valueflow`):
+
+``SR301`` **atomicity violation** — a read-modify-write *span* on a
+    shared variable (a global write whose value depends on an earlier
+    global read of the same variable in the same thread, or a
+    check-then-act: a branch on a read followed by a reachable write)
+    where no single mutex is held across the whole span, while a
+    concurrent write to the variable can interleave.  Catches the
+    per-access-locked increment the pairwise race detector calls
+    "common-lock": each access is protected, the *span* is not.
+
+``SR302`` **order violation** — a cross-thread use-before-init: a read
+    of a shared variable not definitely initialized by its own thread
+    (must-init), performed by a pure consumer (its thread never writes
+    the variable), while the initializing write in another thread may
+    happen in parallel with it and no common lock even serializes the
+    two.  Locks alone would not *order* init before use, but
+    consistently locked producer/consumer protocols are excluded to keep
+    the pattern quiet on disciplined code.
+
+``SR303`` **lost notify** — a ``signal``/``broadcast`` on a condvar that
+    may run in parallel with a ``wait`` on the same condvar while NOT
+    holding the wait's mutex: the signal can fire before the wait
+    registers (lost wakeup) or wake the waiter before its predicate is
+    published (premature wake).
+
+Each finding doubles as a :class:`ViolationPredicate` — the line-level
+site description ``repro explore`` compiles into solver goal clauses
+(see :mod:`repro.core.explore`).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.minilang import bytecode as bc
+from repro.analysis.static_race.diagnostics import (
+    WARNING,
+    Diagnostic,
+    Location,
+)
+from repro.analysis.static_race.races import analyze_races
+from repro.analysis.static_race.sites import sites_by_var
+from repro.analysis.static_race.valueflow import (
+    compute_must_writes,
+    compute_value_flow,
+    span_points,
+)
+
+
+@dataclass(frozen=True)
+class SyncSite:
+    """A wait/signal/broadcast instruction site (MHP-queryable)."""
+
+    func: str
+    block: int
+    index: int
+    kind: str  # 'wait' | 'signal' | 'broadcast'
+    condvar: str
+    mutex: str  # the wait's mutex; None for signal/broadcast
+    line: int
+
+    @property
+    def point(self):
+        return (self.func, self.block, self.index)
+
+
+@dataclass(frozen=True)
+class ViolationPredicate:
+    """A line-level description of one finding, compilable into solver
+    goal clauses by the explore driver.
+
+    Only the fields of the matching ``code`` are populated:
+
+    * SR301: ``read_line``/``write_line`` (the span, in ``func``) and
+      ``remote_write_lines`` (interleaving writer candidates);
+    * SR302: ``read_line`` (in ``func``) and ``init_write_lines``;
+    * SR303: ``condvar``/``mutex``, ``wait_line`` (in ``func``) and
+      ``signal_lines`` (the unprotected signals).
+    """
+
+    code: str
+    var: str
+    func: str
+    description: str
+    focus_vars: tuple = ()
+    read_line: int = 0
+    write_line: int = 0
+    remote_write_lines: tuple = ()
+    init_write_lines: tuple = ()
+    condvar: str = None
+    mutex: str = None
+    wait_line: int = 0
+    signal_lines: tuple = ()
+
+
+@dataclass
+class PatternReport:
+    """Output of :func:`find_bug_patterns`: parallel diagnostic and
+    predicate lists (``predicates[i]`` backs ``diagnostics[i]``)."""
+
+    diagnostics: list = field(default_factory=list)
+    predicates: list = field(default_factory=list)
+
+    def add(self, diag, pred):
+        self.diagnostics.append(diag)
+        self.predicates.append(pred)
+
+
+def find_bug_patterns(program, races=None):
+    """Run the three SR3xx passes; returns a :class:`PatternReport`."""
+    if races is None:
+        races = analyze_races(program)
+    report = PatternReport()
+    _find_atomicity(program, races, report)
+    _find_order_violations(program, races, report)
+    _find_lost_notify(program, races, report)
+    return report
+
+
+# -- SR301: atomicity violations ------------------------------------------
+
+
+def _find_atomicity(program, races, report):
+    shared = races.shared_vars()
+    site_by_point = {s.point: s for s in races.sites}
+    by_var = sites_by_var(races.sites)
+    flows = compute_value_flow(program)
+    must = races.locksets
+
+    spans = []  # (read site, write site, idiom)
+    seen = set()
+    for name in sorted(flows):
+        flow = flows[name]
+        func = program.functions[name]
+        # Direct RMW: a write whose value depends on a read of the same var.
+        for wpoint in sorted(flow.write_deps):
+            wsite = site_by_point.get(wpoint)
+            if wsite is None or wsite.var not in shared:
+                continue
+            for rpoint in sorted(flow.write_deps[wpoint]):
+                rsite = site_by_point.get(rpoint)
+                if rsite is None or rsite.var != wsite.var:
+                    continue
+                key = (rsite.key, wsite.key)
+                if key not in seen:
+                    seen.add(key)
+                    spans.append((rsite, wsite, "read-modify-write"))
+        # Check-then-act: a branch tested a read of v, and a write of v is
+        # forward reachable from the branch in the same function.
+        for bpoint in sorted(flow.branch_deps):
+            for rpoint in sorted(flow.branch_deps[bpoint]):
+                rsite = site_by_point.get(rpoint)
+                if rsite is None or rsite.var not in shared:
+                    continue
+                for wsite in by_var.get(rsite.var, ()):
+                    if wsite.func != name or not wsite.is_write:
+                        continue
+                    if span_points(func, name, rsite.point, wsite.point) is None:
+                        continue
+                    key = (rsite.key, wsite.key)
+                    if key not in seen:
+                        seen.add(key)
+                        spans.append((rsite, wsite, "check-then-act"))
+
+    for rsite, wsite, idiom in spans:
+        func = program.functions[rsite.func]
+        points = span_points(func, rsite.func, rsite.point, wsite.point)
+        if points is None:
+            # Loop-carried pairing: cover with the endpoint locksets only.
+            coverage = must.held_before(rsite.point) & must.held_before(
+                wsite.point
+            )
+        else:
+            coverage = None
+            for point in points:
+                held = must.held_before(point)
+                coverage = held if coverage is None else (coverage & held)
+            coverage = coverage or frozenset()
+        remote = []
+        for cand in by_var.get(rsite.var, ()):
+            if not cand.is_write:
+                continue
+            if coverage & must.held_before(cand.point):
+                continue  # the span lock also guards this writer
+            if races.mhp.may_happen_in_parallel(
+                rsite, cand
+            ) or races.mhp.may_happen_in_parallel(wsite, cand):
+                remote.append(cand)
+        if not remote:
+            continue
+        locs = tuple(
+            sorted(
+                {Location(rsite.func, rsite.line), Location(wsite.func, wsite.line)}
+                | {Location(c.func, c.line) for c in remote},
+                key=lambda loc: (loc.func, loc.line),
+            )
+        )
+        report.add(
+            Diagnostic(
+                code="SR301",
+                severity=WARNING,
+                message="atomicity violation on %r: %s span (read line %d -> "
+                "write line %d) is not lock-covered and a concurrent write "
+                "can interleave" % (rsite.var, idiom, rsite.line, wsite.line),
+                var=rsite.var,
+                locations=locs,
+            ),
+            ViolationPredicate(
+                code="SR301",
+                var=rsite.var,
+                func=rsite.func,
+                description="%s span on %r" % (idiom, rsite.var),
+                focus_vars=(rsite.var,),
+                read_line=rsite.line,
+                write_line=wsite.line,
+                remote_write_lines=tuple(sorted({c.line for c in remote})),
+            ),
+        )
+
+
+# -- SR302: order violations ----------------------------------------------
+
+
+def _find_order_violations(program, races, report):
+    shared = races.shared_vars()
+    by_var = sites_by_var(races.sites)
+    must_init = compute_must_writes(program)
+    must = races.locksets
+    mhp = races.mhp
+
+    reported = set()
+    for site in races.sites:
+        var = site.var
+        if site.is_write or var not in shared:
+            continue
+        if var in must_init.written_before(site.point):
+            continue  # this thread initialized it itself
+        # Pure consumer only: a thread that also writes the variable is a
+        # peer in a racy protocol (SR001/SR301 territory), not a
+        # use-before-init reader.
+        roots = mhp.roots_of(site.func)
+        if any(
+            w.is_write and w.func in mhp.reach.get(root, ())
+            for root in roots
+            for w in by_var.get(var, ())
+        ):
+            continue
+        read_locks = must.held_before(site.point)
+        writers = [
+            w
+            for w in by_var.get(var, ())
+            if w.is_write
+            and mhp.may_happen_in_parallel(site, w)
+            and not (read_locks & must.held_before(w.point))
+        ]
+        if not writers:
+            continue
+        key = (var, site.func, site.line)
+        if key in reported:
+            continue
+        reported.add(key)
+        locs = tuple(
+            sorted(
+                {Location(site.func, site.line)}
+                | {Location(w.func, w.line) for w in writers},
+                key=lambda loc: (loc.func, loc.line),
+            )
+        )
+        report.add(
+            Diagnostic(
+                code="SR302",
+                severity=WARNING,
+                message="order violation on %r: read at %s:%d may execute "
+                "before the initializing write in another thread"
+                % (var, site.func, site.line),
+                var=var,
+                locations=locs,
+            ),
+            ViolationPredicate(
+                code="SR302",
+                var=var,
+                func=site.func,
+                description="use-before-init of %r" % var,
+                focus_vars=(var,),
+                read_line=site.line,
+                init_write_lines=tuple(sorted({w.line for w in writers})),
+            ),
+        )
+
+
+# -- SR303: lost notify ---------------------------------------------------
+
+
+def _find_lost_notify(program, races, report):
+    waits, signals = _sync_sites(program)
+    must = races.locksets
+    mhp = races.mhp
+    site_by_var = sites_by_var(races.sites)
+    shared = races.shared_vars()
+
+    for wait in waits:
+        naked = []
+        for sig in signals:
+            if sig.condvar != wait.condvar:
+                continue
+            if wait.mutex in must.held_before(sig.point):
+                continue  # published under the wait's mutex: well-formed
+            if not mhp.may_happen_in_parallel(wait, sig):
+                continue
+            naked.append(sig)
+        if not naked:
+            continue
+        # Focus variables: shared data this waiter's function reads — the
+        # state a premature wake would observe half-published.
+        focus = tuple(
+            sorted(
+                {
+                    s.var
+                    for var_sites in site_by_var.values()
+                    for s in var_sites
+                    if s.func == wait.func and not s.is_write and s.var in shared
+                }
+            )
+        )
+        locs = tuple(
+            sorted(
+                {Location(wait.func, wait.line)}
+                | {Location(s.func, s.line) for s in naked},
+                key=lambda loc: (loc.func, loc.line),
+            )
+        )
+        report.add(
+            Diagnostic(
+                code="SR303",
+                severity=WARNING,
+                message="lost notify on %r: signal not holding %r may fire "
+                "before the wait at %s:%d registers (lost or premature "
+                "wakeup)" % (wait.condvar, wait.mutex, wait.func, wait.line),
+                var=wait.condvar,
+                locations=locs,
+            ),
+            ViolationPredicate(
+                code="SR303",
+                var=wait.condvar,
+                func=wait.func,
+                description="lost notify on %r" % wait.condvar,
+                focus_vars=focus,
+                condvar=wait.condvar,
+                mutex=wait.mutex,
+                wait_line=wait.line,
+                signal_lines=tuple(sorted({s.line for s in naked})),
+            ),
+        )
+
+
+def _sync_sites(program):
+    waits, signals = [], []
+    for name in sorted(program.functions):
+        func = program.functions[name]
+        for block in func.blocks:
+            for idx, instr in enumerate(block.instrs):
+                if instr.op == bc.WAIT:
+                    waits.append(
+                        SyncSite(
+                            func=name,
+                            block=block.id,
+                            index=idx,
+                            kind="wait",
+                            condvar=instr.arg,
+                            mutex=instr.arg2,
+                            line=instr.line,
+                        )
+                    )
+                elif instr.op in (bc.SIGNAL, bc.BROADCAST):
+                    signals.append(
+                        SyncSite(
+                            func=name,
+                            block=block.id,
+                            index=idx,
+                            kind="signal" if instr.op == bc.SIGNAL else "broadcast",
+                            condvar=instr.arg,
+                            mutex=None,
+                            line=instr.line,
+                        )
+                    )
+    return waits, signals

@@ -10,6 +10,7 @@ from repro.analysis.static_race.diagnostics import (
     StaticReport,
 )
 from repro.analysis.static_race.lockorder import analyze_lock_order
+from repro.analysis.static_race.patterns import find_bug_patterns
 from repro.analysis.static_race.races import analyze_races
 
 
@@ -17,6 +18,7 @@ def analyze_program(program, name="<program>"):
     """Run every static pass and fold the results into one report."""
     races = analyze_races(program)
     lock_order = analyze_lock_order(program)
+    patterns = find_bug_patterns(program, races=races)
 
     report = StaticReport(
         program_name=name,
@@ -76,6 +78,9 @@ def analyze_program(program, name="<program>"):
                 locations=(Location(edge.func, edge.line),),
             )
         )
+
+    for diag in patterns.diagnostics:
+        report.add(diag)
 
     for cycle in lock_order.cycles:
         witnesses = lock_order.witness_edges(cycle)

@@ -121,6 +121,10 @@ class ThreadSummary:
     bug_line: int = 0
     reads: dict = field(default_factory=dict)  # sym name -> SymSAP
     children: list = field(default_factory=list)  # forked thread names
+    # Every assert on the path, in execution order: (condition expr, line,
+    # index into `conditions` before the provisional passing-condition was
+    # appended).  The explore driver retargets one of these as the bug.
+    asserts: list = field(default_factory=list)
 
     def data_saps(self):
         return [s for s in self.saps if s.is_data]
@@ -188,7 +192,6 @@ class SymbolicExecutor:
         # ordered overlay of (index_expr, value_expr) writes.
         self.local_cells = {}
         self.array_overlays = {}  # array name -> list[(idx_expr, val_expr)]
-        self._assert_records = []  # (condition_expr, line, cond_index)
         self._spawn_args = {}  # child name -> concrete args
 
         for info in program.symbols.globals.values():
@@ -624,7 +627,7 @@ class SymbolicExecutor:
         cond = frame.stack.pop()
         cond = wrap(cond)
         record = (cond, instr.line, len(self.summary.conditions))
-        self._assert_records.append(record)
+        self.summary.asserts.append(record)
         # Provisionally treat it as a passing assert; _finalize_bug flips
         # the failing one.
         if not isinstance(cond, Const):
@@ -642,7 +645,7 @@ class SymbolicExecutor:
     def _finalize_bug(self):
         if self.bug is None or self.bug.thread != self.thread:
             return
-        for cond, line, _ in reversed(self._assert_records):
+        for cond, line, _ in reversed(self.summary.asserts):
             if line == self.bug.line:
                 self.summary.bug_expr = mk_not(cond)
                 self.summary.bug_line = line

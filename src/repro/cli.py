@@ -5,7 +5,11 @@ Commands
 run        Execute a MiniLang program once under a seeded scheduler.
 record     Search seeds for a failing run and dump the CLAP path logs.
 reproduce  Full pipeline: record, solve, replay; prints the schedule.
-analyze    Static analysis: shared variables, races, lock-order cycles.
+analyze    Static analysis: shared variables, races, lock-order cycles,
+           and the SR3xx bug patterns (atomicity/order/lost-notify).
+explore    Witness search: SR3xx findings drive a goal-directed solve
+           over a recorded *passing* run; witnesses are replay-validated
+           and optionally stored in a corpus.
 disasm     Show the compiled bytecode of every function.
 trace      Decode and print a thread-local path log against its program.
 bench      Regenerate a table of the paper's evaluation (1, 2 or 3).
@@ -206,6 +210,65 @@ def cmd_analyze(args):
     else:
         print(report.to_text())
     if args.fail_on_race and report.errors():
+        return 1
+    return 0
+
+
+def cmd_explore(args):
+    from repro.core.explore import ExploreConfig, ExploreDriver
+
+    with open(args.program) as fh:
+        source = fh.read()
+    config = ExploreConfig(
+        memory_model=args.memory_model,
+        max_seeds=args.max_seeds,
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+        max_cs=args.max_cs,
+        static_prune=args.static_prune,
+    )
+    corpus = None
+    if args.corpus:
+        from repro.store.corpus import Corpus
+
+        corpus = Corpus.open_or_create(args.corpus)
+    driver = ExploreDriver(source, config=config, name=args.program)
+    report = driver.run(corpus=corpus)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(
+            "targets      : %d (%d witnesses), %d passing runs from %d seeds"
+            % (
+                len(report.targets),
+                report.n_witnesses,
+                report.passing_runs,
+                report.seeds_scanned,
+            )
+        )
+        for t in report.targets:
+            print(
+                "%s %-11s %s (%s) — %s"
+                % (t.code, t.status, t.var, t.func, t.description)
+            )
+            if t.found:
+                print(
+                    "    seed=%d rung=%d bound=%d attempts=%d"
+                    " schedules=%d %.2fs%s"
+                    % (
+                        t.seed,
+                        t.rung,
+                        t.bound,
+                        t.attempts,
+                        t.schedules_enumerated,
+                        t.time_search,
+                        (" -> " + t.entry_id) if t.entry_id else "",
+                    )
+                )
+                print("    schedule: " + " -> ".join(t.schedule))
+    if args.fail_without_witness and report.n_witnesses < len(report.targets):
+        return 1
+    if args.fail_on_witness and report.n_witnesses:
         return 1
     return 0
 
@@ -477,8 +540,10 @@ def build_parser():
     p.add_argument("--workers", type=int, default=0)
     p.add_argument(
         "--static-prune",
-        action="store_true",
-        help="prune Frw with the static race analysis (repro analyze passes)",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="prune Frw with the static race analysis (on by default; "
+        "--no-static-prune disables it)",
     )
     p.add_argument(
         "--symexec-workers",
@@ -509,6 +574,41 @@ def build_parser():
         help="exit 1 when any error-severity diagnostic is reported",
     )
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "explore",
+        help="search for witnesses of static SR3xx findings (no failing "
+        "recording needed)",
+    )
+    _common_run_flags(p)
+    p.add_argument(
+        "--max-seeds",
+        type=int,
+        default=64,
+        help="seeds scanned for passing runs covering the predicate sites",
+    )
+    p.add_argument("--max-cs", type=int, default=6, help="context-switch bound")
+    p.add_argument(
+        "--corpus", help="store replay-validated witnesses in this corpus"
+    )
+    p.add_argument(
+        "--static-prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="prune Frw with the static race analysis (on by default)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--fail-without-witness",
+        action="store_true",
+        help="exit 1 unless every SR3xx finding yields a validated witness",
+    )
+    p.add_argument(
+        "--fail-on-witness",
+        action="store_true",
+        help="exit 1 when any validated witness is found (fixed-variant gate)",
+    )
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("disasm", help="dump compiled bytecode")
     p.add_argument("program")

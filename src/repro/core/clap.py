@@ -70,10 +70,12 @@ class ClapConfig:
     genval_probes_per_round: int = 48
     # Feed the static race analysis (analysis.static_race) into the Frw
     # encoder: candidates proven impossible for race-free site pairs are
-    # dropped.  Off by default — enable with ``repro reproduce
-    # --static-prune`` or ClapConfig(static_prune=True).  (The hard-edge
-    # happens-before pruning needs no certificate and is always on.)
-    static_prune: bool = False
+    # dropped.  On by default (the pruning is equisatisfiable — see
+    # tests/test_properties.py); disable with ``repro reproduce
+    # --no-static-prune`` or ClapConfig(static_prune=False).  (The
+    # hard-edge happens-before pruning needs no certificate and is
+    # always on.)
+    static_prune: bool = True
     # Parallel per-thread symbolic execution: >1 fans thread re-execution
     # over a worker pool; traces under symexec_min_blocks decoded basic
     # blocks stay serial regardless (fork overhead dominates below that).

@@ -118,6 +118,12 @@ def replay_schedule(
     # let threads coast (without committing new SAPs) so it can fire.
     _coast(interp)
     interp.memory.drain_all()
+    # Hooks with a finalize step (e.g. a PathRecorder re-recording the
+    # replayed run) need the interpreter to dump still-open frames.
+    for hook in hooks:
+        finalize = getattr(hook, "finalize", None)
+        if finalize is not None:
+            finalize(interp)
     result = interp._result()
     if expected_bug is not None:
         reproduced = expected_bug.same_failure(result.bug)

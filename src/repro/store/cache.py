@@ -34,7 +34,8 @@ from repro.tracing.logfmt import encode_tokens
 # Bump whenever the pickled payload shape, the ThreadSummary /
 # ConstraintSystem classes, or the encoding rules change incompatibly:
 # every existing entry then invalidates itself on first touch.
-ANALYSIS_SCHEMA_VERSION = 1
+# v2: ThreadSummary grew the `asserts` field (explore retargeting).
+ANALYSIS_SCHEMA_VERSION = 2
 
 
 class AnalysisCache:

@@ -458,3 +458,89 @@ class Corpus:
         }
         entry._write_manifest(manifest)
         return entry
+
+    def add_recorded(self, source, recorder, result, name=None, config=None,
+                     entry_id=None, tag=None, seed=-1, provenance=None,
+                     time_record=0.0):
+        """Persist an already-recorded failing execution as an entry.
+
+        This is how ``repro explore`` stores its replay-validated
+        witnesses: the witness replay runs with a fresh
+        :class:`~repro.tracing.recorder.PathRecorder` attached, and the
+        resulting (finalized) logs plus the observed failure become a
+        normal self-contained entry — ``seed`` is -1 because no scheduler
+        seed produced the run, and ``provenance`` (a JSON-able dict, e.g.
+        the SR3xx finding that drove the search) is kept in the manifest.
+        Returns the new :class:`CorpusEntry`.
+        """
+        if not isinstance(source, str):
+            raise CorpusError(
+                "corpus entries need the program source text to be "
+                "self-contained; pass MiniLang source, not a compiled program"
+            )
+        program = compile_source(source, name=name)
+        config = config or ClapConfig()
+        bug = result.bug
+        if bug is None:
+            raise CorpusError(
+                "refusing to store a recording with no observed failure"
+            )
+        sha = _sha256(source)
+        if entry_id is None:
+            # The program name may be a file path; an entry id must be a
+            # single directory component under entries/.
+            base_name = os.path.basename(program.name) or "program"
+            base = "%s-%s-%s" % (base_name, tag or "witness", sha[:8])
+            entry_id = base
+            suffix = 1
+            while os.path.exists(os.path.join(self.entries_dir, entry_id)):
+                suffix += 1
+                entry_id = "%s-%d" % (base, suffix)
+        entry_path = os.path.join(self.entries_dir, entry_id)
+        if os.path.exists(entry_path):
+            raise CorpusError("corpus entry %s already exists" % entry_id)
+        os.makedirs(entry_path)
+        entry = CorpusEntry(entry_path)
+
+        writer = ClapWriter(entry.trace_path)
+        for thread in sorted(recorder.logs):
+            writer.write_chunk(thread, recorder.logs[thread], final=True)
+        writer.close(
+            meta={"entry": entry_id, "program": program.name, "seed": seed}
+        )
+
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "entry_id": entry_id,
+            "program": {
+                "name": program.name,
+                "source": source,
+                "sha256": sha,
+            },
+            "record": dict(
+                {key: getattr(config, key) for key in _RECORD_PARAMS},
+                seed=seed,
+            ),
+            "bug": {
+                "kind": bug.kind,
+                "message": bug.message,
+                "thread": bug.thread,
+                "line": bug.line,
+            },
+            "stats": {
+                "thread_names": sorted(result.thread_names.values()),
+                "n_instructions": result.total_instructions(),
+                "n_branches": result.total_branches(),
+                "n_saps": result.total_saps(),
+                "log_bytes": recorder.log_size_bytes(),
+                "instrumentation_ops": getattr(
+                    recorder, "instrumentation_ops", 0
+                ),
+                "time_record": time_record,
+            },
+            "recovered": False,
+        }
+        if provenance:
+            manifest["provenance"] = provenance
+        entry._write_manifest(manifest)
+        return entry

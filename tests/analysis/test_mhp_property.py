@@ -1,0 +1,211 @@
+"""Property tests: MHP oracle and lock-order cycles vs brute force.
+
+Random spawn/join trees are generated as abstract thread models, turned
+into MiniLang programs, and analyzed.  The reference answer comes from
+an exhaustive interleaving enumeration of the abstract model (which is
+tiny by construction), so the two implementations share no code.
+
+* MHP soundness: whenever two accesses are co-enabled in *some*
+  interleaving, ``may_happen_in_parallel`` must say True.  (The static
+  oracle is a may-analysis; extra Trues are allowed, missing ones are
+  bugs — this is the test that caught the nested-spawn hole.)
+* Lock-order cycles: random nested lock sequences vs an independent
+  brute-force elementary-cycle enumeration over the held->acquired
+  edges; here the answers must match exactly, because for straight-line
+  acquisition sequences the may-lockset is exact.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.static_race.lockorder import analyze_lock_order
+from repro.analysis.static_race.races import analyze_races
+from repro.minilang import compile_source
+
+
+# -- random spawn/join trees ----------------------------------------------
+
+
+def gen_model(rng, max_threads=4, max_accesses=6):
+    """A random fork tree: {tid: [op, ...]} with ops ('acc', id),
+    ('spawn', tid), ('join', tid).  Thread 0 is main; every child is
+    spawned and joined by its parent (in that order), with accesses
+    sprinkled anywhere — including between spawn and join, which is
+    where parallelism lives."""
+    n_threads = rng.randint(2, max_threads)
+    parent = {t: rng.randrange(t) for t in range(1, n_threads)}
+    ops = {t: [] for t in range(n_threads)}
+    for t in range(n_threads - 1, 0, -1):
+        body = ops[parent[t]]
+        lo = rng.randrange(len(body) + 1)
+        hi = rng.randrange(lo, len(body) + 1)
+        body.insert(hi, ("join", t))
+        body.insert(lo, ("spawn", t))
+    n_acc = rng.randint(2, max_accesses)
+    for acc in range(n_acc):
+        t = rng.randrange(n_threads)
+        body = ops[t]
+        body.insert(rng.randrange(len(body) + 1), ("acc", acc))
+    return ops, n_acc
+
+
+def brute_parallel(ops):
+    """All access pairs co-enabled in some interleaving (exhaustive)."""
+    n = len(ops)
+    init = (tuple(0 for _ in range(n)), frozenset([0]))
+    seen = set()
+    stack = [init]
+    pairs = set()
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        pos, started = state
+        enabled = []
+        for t in started:
+            if pos[t] >= len(ops[t]):
+                continue
+            op = ops[t][pos[t]]
+            if op[0] == "join":
+                child = op[1]
+                if child not in started or pos[child] < len(ops[child]):
+                    continue  # child not finished: join blocks
+            enabled.append((t, op))
+        accs = [op[1] for _t, op in enabled if op[0] == "acc"]
+        for a, b in itertools.combinations(sorted(accs), 2):
+            pairs.add((a, b))
+        for t, op in enabled:
+            npos = tuple(p + 1 if i == t else p for i, p in enumerate(pos))
+            nstarted = started | {op[1]} if op[0] == "spawn" else started
+            stack.append((npos, nstarted))
+    return pairs
+
+
+def emit_source(ops, n_acc):
+    decls = "\n".join("int x%d = 0;" % i for i in range(n_acc))
+    funcs = []
+    for t in sorted(ops, reverse=True):
+        body = []
+        for op in ops[t]:
+            if op[0] == "acc":
+                body.append("x%d = 1;" % op[1])
+            elif op[0] == "spawn":
+                body.append("int h%d = 0;" % op[1])
+                body.append("h%d = spawn w%d();" % (op[1], op[1]))
+            else:
+                body.append("join(h%d);" % op[1])
+        lines = "\n    ".join(body) if body else ""
+        if t == 0:
+            funcs.append("int main() {\n    %s\n    return 0;\n}" % lines)
+        else:
+            funcs.append("void w%d() {\n    %s\n}" % (t, lines))
+    return decls + "\n\n" + "\n\n".join(funcs) + "\n"
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_mhp_sound_vs_brute_force(seed):
+    rng = random.Random(seed)
+    ops, n_acc = gen_model(rng)
+    program = compile_source(emit_source(ops, n_acc))
+    races = analyze_races(program)
+    site_of = {}
+    for site in races.sites:
+        if site.is_write and site.var.startswith("x"):
+            site_of[int(site.var[1:])] = site
+    truth = brute_parallel(ops)
+    for a, b in truth:
+        assert races.mhp.may_happen_in_parallel(site_of[a], site_of[b]), (
+            "MHP unsound for seed %d: accesses %d and %d are co-enabled "
+            "in the model but the oracle says sequential\n%s"
+            % (seed, a, b, emit_source(ops, n_acc))
+        )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_mhp_exact_on_flat_fork_join(seed):
+    """With a single spawner (main) and no nesting, the oracle should be
+    exact, not just sound: its liveness window matches the model's."""
+    rng = random.Random(10_000 + seed)
+    ops, n_acc = gen_model(rng, max_threads=3)
+    if any(op[0] == "spawn" for t in ops for op in ops[t] if t != 0):
+        pytest.skip("nested spawn: only soundness is guaranteed")
+    program = compile_source(emit_source(ops, n_acc))
+    races = analyze_races(program)
+    site_of = {}
+    for site in races.sites:
+        if site.is_write and site.var.startswith("x"):
+            site_of[int(site.var[1:])] = site
+    truth = brute_parallel(ops)
+    for a, b in itertools.combinations(range(n_acc), 2):
+        got = races.mhp.may_happen_in_parallel(site_of[a], site_of[b])
+        assert got == ((a, b) in truth), (
+            "MHP imprecise/unsound for seed %d accesses (%d, %d): "
+            "oracle=%s brute=%s\n%s"
+            % (seed, a, b, got, (a, b) in truth, emit_source(ops, n_acc))
+        )
+
+
+# -- random lock graphs ----------------------------------------------------
+
+
+def gen_lock_program(rng, n_locks=4, n_threads=3, max_pairs=3):
+    """Each worker acquires random properly-nested two-lock sequences;
+    returns (source, edge set) where edges are (held, acquired) names."""
+    edges = set()
+    funcs = []
+    for t in range(1, n_threads + 1):
+        body = []
+        for _ in range(rng.randint(1, max_pairs)):
+            a, b = rng.sample(range(n_locks), 2)
+            edges.add(("m%d" % a, "m%d" % b))
+            body.append(
+                "lock(m%d);\n    lock(m%d);\n    unlock(m%d);\n    unlock(m%d);"
+                % (a, b, b, a)
+            )
+        funcs.append("void w%d() {\n    %s\n}" % (t, "\n    ".join(body)))
+    spawns = []
+    joins = []
+    for t in range(1, n_threads + 1):
+        spawns.append("int h%d = 0;" % t)
+        spawns.append("h%d = spawn w%d();" % (t, t))
+        joins.append("join(h%d);" % t)
+    main = "int main() {\n    %s\n    %s\n    return 0;\n}" % (
+        "\n    ".join(spawns),
+        "\n    ".join(joins),
+    )
+    decls = "\n".join("mutex m%d;" % i for i in range(n_locks))
+    return decls + "\n\n" + "\n\n".join(funcs) + "\n\n" + main + "\n", edges
+
+
+def brute_cycles(edges):
+    """Elementary cycles (length >= 2) by permutation enumeration,
+    canonicalized to start at their smallest node."""
+    nodes = sorted({n for e in edges for n in e})
+    found = set()
+    for k in range(2, len(nodes) + 1):
+        for combo in itertools.combinations(nodes, k):
+            first = combo[0]  # smallest of the combo: canonical start
+            for rest in itertools.permutations(combo[1:]):
+                cyc = (first,) + rest
+                arcs = list(zip(cyc, cyc[1:] + cyc[:1]))
+                if all(arc in edges for arc in arcs):
+                    found.add(cyc)
+    return found
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_lock_cycles_vs_brute_force(seed):
+    rng = random.Random(20_000 + seed)
+    source, edges = gen_lock_program(rng)
+    program = compile_source(source)
+    report = analyze_lock_order(program)
+    got_edges = {(e.held, e.acquired) for e in report.edges}
+    assert got_edges == edges, "lock-order edges drifted for seed %d" % seed
+    got_cycles = {tuple(c) for c in report.cycles}
+    assert got_cycles == brute_cycles(edges), (
+        "cycle sets differ for seed %d: analyzer=%s brute=%s"
+        % (seed, sorted(got_cycles), sorted(brute_cycles(edges)))
+    )

@@ -1,0 +1,343 @@
+"""SR3xx bug-pattern passes: atomicity, order, lost-notify.
+
+Each pattern is exercised on a buggy variant (must fire, with the right
+predicate fields) and a fixed variant (must stay silent).  The seeded
+example programs under examples/minilang/ are covered by the golden
+tests; here we use small inline sources so each guard in the passes is
+pinned down individually.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.static_race import find_bug_patterns
+from repro.minilang import compile_source
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def patterns_of(src):
+    return find_bug_patterns(compile_source(src))
+
+
+def codes_of(report):
+    return sorted(p.code for p in report.predicates)
+
+
+def predicate(report, code):
+    matches = [p for p in report.predicates if p.code == code]
+    assert matches, "expected a %s predicate, got %s" % (code, codes_of(report))
+    return matches[0]
+
+
+def example(name):
+    path = os.path.join(ROOT, "examples", "minilang", name)
+    with open(path) as fh:
+        return compile_source(fh.read(), name=name)
+
+
+# -- SR301: atomicity violations ------------------------------------------
+
+RMW_SPLIT_LOCK = """
+int c = 0;
+mutex m;
+
+void worker() {
+    lock(m);
+    int t = c;
+    unlock(m);
+    lock(m);
+    c = t + 1;
+    unlock(m);
+}
+
+int main() {
+    int a = 0; int b = 0;
+    a = spawn worker();
+    b = spawn worker();
+    join(a);
+    join(b);
+    assert(c == 2);
+    return 0;
+}
+"""
+
+RMW_ONE_LOCK = """
+int c = 0;
+mutex m;
+
+void worker() {
+    lock(m);
+    int t = c;
+    c = t + 1;
+    unlock(m);
+}
+
+int main() {
+    int a = 0; int b = 0;
+    a = spawn worker();
+    b = spawn worker();
+    join(a);
+    join(b);
+    assert(c == 2);
+    return 0;
+}
+"""
+
+CHECK_THEN_ACT = """
+int slots = 1;
+mutex m;
+
+void taker() {
+    lock(m);
+    int s = slots;
+    unlock(m);
+    if (s > 0) {
+        lock(m);
+        slots = slots - 1;
+        unlock(m);
+    }
+}
+
+int main() {
+    int a = 0; int b = 0;
+    a = spawn taker();
+    b = spawn taker();
+    join(a);
+    join(b);
+    assert(slots >= 0);
+    return 0;
+}
+"""
+
+
+def test_sr301_fires_on_split_lock_rmw():
+    report = patterns_of(RMW_SPLIT_LOCK)
+    pred = predicate(report, "SR301")
+    assert pred.var == "c"
+    assert pred.func == "worker"
+    assert pred.focus_vars == ("c",)
+    # The span runs read -> write, and the interleaving writer is the
+    # other instance of the same line.
+    assert pred.read_line < pred.write_line
+    assert pred.write_line in pred.remote_write_lines
+
+
+def test_sr301_silent_when_span_is_one_critical_section():
+    report = patterns_of(RMW_ONE_LOCK)
+    assert "SR301" not in codes_of(report)
+
+
+def test_sr301_fires_on_check_then_act():
+    report = patterns_of(CHECK_THEN_ACT)
+    pred = predicate(report, "SR301")
+    assert pred.var == "slots"
+
+
+def test_sr301_silent_without_concurrency():
+    src = RMW_SPLIT_LOCK.replace("b = spawn worker();", "").replace(
+        "join(b);", ""
+    ).replace("assert(c == 2)", "assert(c == 1)")
+    report = patterns_of(src)
+    # A single worker joined before the assert: no parallel remote write.
+    assert "SR301" not in codes_of(report)
+
+
+def test_sr301_example_programs():
+    assert "SR301" in codes_of(find_bug_patterns(example("atomicity_ctr.ml")))
+    assert "SR301" not in codes_of(
+        find_bug_patterns(example("atomicity_ctr_fixed.ml"))
+    )
+
+
+# -- SR302: order violations ----------------------------------------------
+
+USE_BEFORE_INIT = """
+int data = 0;
+int out = 0;
+
+void reader() {
+    int v = data;
+    out = v + 1;
+}
+
+int main() {
+    int h = 0;
+    h = spawn reader();
+    data = 42;
+    join(h);
+    assert(out == 43);
+    return 0;
+}
+"""
+
+INIT_BEFORE_SPAWN = """
+int data = 0;
+int out = 0;
+
+void reader() {
+    int v = data;
+    out = v + 1;
+}
+
+int main() {
+    int h = 0;
+    data = 42;
+    h = spawn reader();
+    join(h);
+    assert(out == 43);
+    return 0;
+}
+"""
+
+SELF_INIT_READER = """
+int data = 0;
+
+void writerthread() {
+    data = 7;
+}
+
+void reader() {
+    data = 1;
+    int v = data;
+    assert(v > 0);
+}
+
+int main() {
+    int a = 0; int b = 0;
+    a = spawn writerthread();
+    b = spawn reader();
+    join(a);
+    join(b);
+    return 0;
+}
+"""
+
+
+def test_sr302_fires_on_use_before_init():
+    report = patterns_of(USE_BEFORE_INIT)
+    pred = predicate(report, "SR302")
+    assert pred.var == "data"
+    assert pred.func == "reader"
+    assert pred.init_write_lines  # main's data = 42
+
+
+def test_sr302_silent_when_init_precedes_spawn():
+    report = patterns_of(INIT_BEFORE_SPAWN)
+    assert "SR302" not in codes_of(report)
+
+
+def test_sr302_silent_for_self_initializing_reader():
+    # The reader writes data itself: it is not a pure consumer, so the
+    # use-before-init pattern does not apply.
+    report = patterns_of(SELF_INIT_READER)
+    assert "SR302" not in codes_of(report)
+
+
+def test_sr302_example_programs():
+    assert "SR302" in codes_of(find_bug_patterns(example("order_uninit.ml")))
+    assert "SR302" not in codes_of(
+        find_bug_patterns(example("order_uninit_fixed.ml"))
+    )
+
+
+# -- SR303: lost notify ---------------------------------------------------
+
+NAKED_SIGNAL = """
+int ready = 0;
+mutex m;
+cond cv;
+
+void waiter() {
+    lock(m);
+    if (ready == 0) {
+        wait(cv, m);
+    }
+    unlock(m);
+}
+
+int main() {
+    int h = 0;
+    h = spawn waiter();
+    signal(cv);
+    lock(m);
+    ready = 1;
+    signal(cv);
+    unlock(m);
+    join(h);
+    return 0;
+}
+"""
+
+GUARDED_SIGNAL = """
+int ready = 0;
+mutex m;
+cond cv;
+
+void waiter() {
+    lock(m);
+    if (ready == 0) {
+        wait(cv, m);
+    }
+    unlock(m);
+}
+
+int main() {
+    int h = 0;
+    h = spawn waiter();
+    lock(m);
+    ready = 1;
+    signal(cv);
+    unlock(m);
+    join(h);
+    return 0;
+}
+"""
+
+
+def test_sr303_fires_on_naked_signal():
+    report = patterns_of(NAKED_SIGNAL)
+    pred = predicate(report, "SR303")
+    assert pred.condvar == "cv"
+    assert pred.mutex == "m"
+    assert pred.func == "waiter"
+    # Only the unprotected signal is a candidate; the guarded one is not.
+    assert len(pred.signal_lines) == 1
+
+
+def test_sr303_silent_when_signal_holds_the_mutex():
+    report = patterns_of(GUARDED_SIGNAL)
+    assert "SR303" not in codes_of(report)
+
+
+def test_sr303_example_programs():
+    assert "SR303" in codes_of(find_bug_patterns(example("lost_notify.ml")))
+    assert "SR303" not in codes_of(
+        find_bug_patterns(example("lost_notify_fixed.ml"))
+    )
+
+
+def test_sr303_silent_on_producer_consumer():
+    # The canonical correct condvar program: every signal is inside the
+    # matching critical section.
+    assert "SR303" not in codes_of(
+        find_bug_patterns(example("producer_consumer.ml"))
+    )
+
+
+# -- report structure ------------------------------------------------------
+
+
+def test_predicates_parallel_diagnostics():
+    report = patterns_of(RMW_SPLIT_LOCK)
+    assert len(report.diagnostics) == len(report.predicates)
+    for diag, pred in zip(report.diagnostics, report.predicates):
+        assert diag.code == pred.code
+        assert diag.severity == "warning"
+
+
+def test_all_predicates_carry_focus_vars():
+    for src in (RMW_SPLIT_LOCK, USE_BEFORE_INIT, NAKED_SIGNAL):
+        for pred in patterns_of(src).predicates:
+            assert pred.focus_vars, pred

@@ -1,0 +1,96 @@
+"""Golden-file lint for ``repro analyze --json``.
+
+Every example program has a checked-in expected-diagnostics file under
+``examples/minilang/expected/<name>.json`` holding the full versioned
+JSON payload.  The CI ``analyze-lint`` job runs this module; any drift
+in the analyzer (new pass, changed message, reordered output) shows up
+as a readable JSON diff here instead of silently changing behavior.
+
+Regenerate after an intentional analyzer change with::
+
+    REGEN_ANALYZE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_analyze_golden.py
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.analysis.static_race import analyze_program
+from repro.minilang import compile_source
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(ROOT, "examples", "minilang")
+EXPECTED_DIR = os.path.join(EXAMPLES_DIR, "expected")
+
+EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.ml")))
+
+REGEN = bool(os.environ.get("REGEN_ANALYZE_GOLDENS"))
+
+
+def _stem(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def _payload(path):
+    # The program name in the payload is the repo-relative path, so the
+    # goldens are stable regardless of the checkout location.
+    rel = os.path.relpath(path, ROOT)
+    with open(path) as fh:
+        program = compile_source(fh.read(), name=rel)
+    return json.loads(analyze_program(program, name=rel).to_json())
+
+
+def test_examples_exist():
+    assert EXAMPLES, "no example programs found"
+
+
+def test_every_example_has_a_golden():
+    missing = [
+        _stem(p)
+        for p in EXAMPLES
+        if not os.path.exists(os.path.join(EXPECTED_DIR, _stem(p) + ".json"))
+    ]
+    if REGEN:
+        pytest.skip("regenerating")
+    assert not missing, (
+        "examples without expected-diagnostics goldens: %s "
+        "(REGEN_ANALYZE_GOLDENS=1 to create)" % ", ".join(missing)
+    )
+
+
+def test_no_orphan_goldens():
+    stems = {_stem(p) for p in EXAMPLES}
+    orphans = [
+        _stem(p)
+        for p in glob.glob(os.path.join(EXPECTED_DIR, "*.json"))
+        if _stem(p) not in stems
+    ]
+    assert not orphans, "goldens without example programs: %s" % ", ".join(orphans)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=_stem)
+def test_analyze_matches_golden(path):
+    golden_path = os.path.join(EXPECTED_DIR, _stem(path) + ".json")
+    payload = _payload(path)
+    if REGEN:
+        os.makedirs(EXPECTED_DIR, exist_ok=True)
+        with open(golden_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return
+    assert os.path.exists(golden_path), (
+        "missing golden %s (REGEN_ANALYZE_GOLDENS=1 to create)" % golden_path
+    )
+    with open(golden_path) as fh:
+        golden = json.load(fh)
+    assert payload == golden, (
+        "analyzer output drifted from %s — if intentional, regenerate with "
+        "REGEN_ANALYZE_GOLDENS=1" % golden_path
+    )
+
+
+def test_payload_is_deterministic():
+    path = EXAMPLES[0]
+    assert _payload(path) == _payload(path)
