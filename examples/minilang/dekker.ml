@@ -1,0 +1,36 @@
+// Dekker's mutual-exclusion algorithm (one round per thread).  Correct
+// under sequential consistency, but the entry protocol's store to
+// flag[id] may be delayed past the load of flag[other] by a store
+// buffer (SR401), letting both threads enter the critical section and
+// lose an increment.
+// analyze-models: sc tso pso
+int flag[2];
+int turn = 0;
+int count = 0;
+
+void actor(int id) {
+    int other = 1 - id;
+    flag[id] = 1;
+    while (flag[other] == 1) {
+        if (turn != id) {
+            flag[id] = 0;
+            while (turn != id) { yield; }
+            flag[id] = 1;
+        }
+    }
+    int c = count;
+    count = c + 1;
+    turn = other;
+    flag[id] = 0;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn actor(0);
+    t1 = spawn actor(1);
+    join(t0);
+    join(t1);
+    assert(count == 2);
+    return 0;
+}

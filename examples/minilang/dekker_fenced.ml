@@ -1,0 +1,41 @@
+// Dekker's algorithm with a full fence after every shared store: no
+// store can be delayed past a later access, so every critical cycle of
+// the unfenced version (see dekker.ml) is cut and the program is
+// robust under TSO and PSO.
+// analyze-models: sc tso pso
+int flag[2];
+int turn = 0;
+int count = 0;
+
+void actor(int id) {
+    int other = 1 - id;
+    flag[id] = 1;
+    fence;
+    while (flag[other] == 1) {
+        if (turn != id) {
+            flag[id] = 0;
+            fence;
+            while (turn != id) { yield; }
+            flag[id] = 1;
+            fence;
+        }
+    }
+    int c = count;
+    count = c + 1;
+    fence;
+    turn = other;
+    fence;
+    flag[id] = 0;
+    fence;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn actor(0);
+    t1 = spawn actor(1);
+    join(t0);
+    join(t1);
+    assert(count == 2);
+    return 0;
+}

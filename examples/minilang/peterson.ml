@@ -1,0 +1,30 @@
+// Peterson's mutual-exclusion algorithm (one round per thread).
+// Correct under sequential consistency; under TSO the store to
+// flag[id] may be delayed past the load of flag[other] in the spin
+// condition (SR401), so both threads can enter and an increment is
+// lost.
+// analyze-models: sc tso pso
+int flag[2];
+int turn = 0;
+int count = 0;
+
+void actor(int id) {
+    int other = 1 - id;
+    flag[id] = 1;
+    turn = other;
+    while (flag[other] == 1 && turn == other) { yield; }
+    int c = count;
+    count = c + 1;
+    flag[id] = 0;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn actor(0);
+    t1 = spawn actor(1);
+    join(t0);
+    join(t1);
+    assert(count == 2);
+    return 0;
+}

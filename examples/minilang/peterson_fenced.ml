@@ -1,0 +1,33 @@
+// Peterson's algorithm with the classic fix: a single full fence after
+// the store to turn (the last store of the entry protocol) plus fences
+// covering the remaining shared stores, making the algorithm robust
+// under TSO and PSO.
+// analyze-models: sc tso pso
+int flag[2];
+int turn = 0;
+int count = 0;
+
+void actor(int id) {
+    int other = 1 - id;
+    flag[id] = 1;
+    fence;
+    turn = other;
+    fence;
+    while (flag[other] == 1 && turn == other) { yield; }
+    int c = count;
+    count = c + 1;
+    fence;
+    flag[id] = 0;
+    fence;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn actor(0);
+    t1 = spawn actor(1);
+    join(t0);
+    join(t1);
+    assert(count == 2);
+    return 0;
+}

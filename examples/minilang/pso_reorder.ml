@@ -1,0 +1,33 @@
+// The message-passing litmus test (MP): the writer publishes data and
+// then raises a ready flag.  TSO's single FIFO store buffer preserves
+// the store order, so the program is TSO-robust; PSO buffers stores
+// per address and may commit ready before data (SR402), letting the
+// reader observe the flag but stale data.
+// analyze-models: sc tso pso
+int data = 0;
+int ready = 0;
+int seen = 0;
+int value = 0;
+
+void writer() {
+    data = 42;
+    ready = 1;
+}
+
+void reader() {
+    int f = ready;
+    int d = data;
+    seen = f;
+    value = d;
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn writer();
+    h2 = spawn reader();
+    join(h1);
+    join(h2);
+    assert(seen == 0 || value == 42);
+    return 0;
+}

@@ -1,0 +1,34 @@
+// The message-passing litmus test with a fence between the data store
+// and the ready store (exactly the placement the SR403 pass infers for
+// pso_reorder.ml): the data store commits before the flag is raised,
+// so the reader can never observe the flag with stale data and the
+// program is robust under both TSO and PSO.
+// analyze-models: sc tso pso
+int data = 0;
+int ready = 0;
+int seen = 0;
+int value = 0;
+
+void writer() {
+    data = 42;
+    fence;
+    ready = 1;
+}
+
+void reader() {
+    int f = ready;
+    int d = data;
+    seen = f;
+    value = d;
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn writer();
+    h2 = spawn reader();
+    join(h1);
+    join(h2);
+    assert(seen == 0 || value == 42);
+    return 0;
+}

@@ -1,0 +1,33 @@
+// The store-buffering litmus test (SB): each thread stores to one
+// variable and then loads the other.  Sequential consistency forbids
+// both loads returning 0, but a store buffer may delay either store
+// past the other thread's load (SR401), so under TSO/PSO both threads
+// can read the initial values and the assert fails.
+// analyze-models: sc tso pso
+int x = 0;
+int y = 0;
+int r1 = 0;
+int r2 = 0;
+
+void t1() {
+    x = 1;
+    int a = y;
+    r1 = a;
+}
+
+void t2() {
+    y = 1;
+    int b = x;
+    r2 = b;
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn t1();
+    h2 = spawn t2();
+    join(h1);
+    join(h2);
+    assert(r1 + r2 >= 1);
+    return 0;
+}

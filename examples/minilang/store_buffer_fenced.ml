@@ -1,0 +1,34 @@
+// The store-buffering litmus test with a full fence between each
+// thread's store and its load: the store commits before the load
+// issues, so at least one thread observes the other's store and the
+// program is robust under TSO and PSO.
+// analyze-models: sc tso pso
+int x = 0;
+int y = 0;
+int r1 = 0;
+int r2 = 0;
+
+void t1() {
+    x = 1;
+    fence;
+    int a = y;
+    r1 = a;
+}
+
+void t2() {
+    y = 1;
+    fence;
+    int b = x;
+    r2 = b;
+}
+
+int main() {
+    int h1 = 0;
+    int h2 = 0;
+    h1 = spawn t1();
+    h2 = spawn t2();
+    join(h1);
+    join(h2);
+    assert(r1 + r2 >= 1);
+    return 0;
+}

@@ -24,6 +24,11 @@ version of the second half, operating on MiniLang bytecode CFGs:
 ``patterns``
     SR3xx bug-pattern passes (atomicity, order, lost-notify) whose
     findings double as violation predicates for ``repro explore``.
+``robustness``
+    Shasha-Snir weak-memory robustness: conflict graph, critical
+    cycles classified per model (SR401 store->load under TSO/PSO,
+    SR402 store->store under PSO), and SR403 minimal fence inference;
+    SR401/SR402 findings double as explore predicates too.
 ``diagnostics``
     Stable diagnostic codes, severities, text and JSON rendering.
 ``prune``
@@ -48,6 +53,11 @@ from repro.analysis.static_race.patterns import (
 from repro.analysis.static_race.prune import StaticPruneInfo, compute_prune_info
 from repro.analysis.static_race.races import RaceAnalysis, analyze_races
 from repro.analysis.static_race.report import analyze_program
+from repro.analysis.static_race.robustness import (
+    RobustnessReport,
+    analyze_robustness,
+    robustness_patterns,
+)
 from repro.analysis.static_race.sites import AccessSite, collect_access_sites
 
 __all__ = [
@@ -56,15 +66,18 @@ __all__ = [
     "MHPInfo",
     "PatternReport",
     "RaceAnalysis",
+    "RobustnessReport",
     "StaticPruneInfo",
     "StaticReport",
     "ViolationPredicate",
     "analyze_lock_order",
     "analyze_program",
     "analyze_races",
+    "analyze_robustness",
     "collect_access_sites",
     "compute_locksets",
     "compute_mhp",
     "compute_prune_info",
     "find_bug_patterns",
+    "robustness_patterns",
 ]

@@ -11,12 +11,15 @@ Codes
 ``SR301``  atomicity violation: unprotected RMW/check-then-act span (warning)
 ``SR302``  order violation: cross-thread use-before-init (warning)
 ``SR303``  lost notify: condvar signal not under the wait's mutex (warning)
+``SR401``  robustness: store->load reordering cycle under TSO/PSO (warning)
+``SR402``  robustness: store->store reordering cycle under PSO (warning)
+``SR403``  fence inference: placement cutting every critical cycle (info)
 
 The JSON shape is stable and versioned: ``{"schema_version", "program",
-"diagnostics": [{"code", "severity", "message", "var", "locations":
-[{"func", "line"}]}], "summary": {...}}`` — consumers (CI lint gates,
-editors) key off ``code`` and ``severity``, never off message text.
-Diagnostics are sorted by (code, function, site) so the output is
+"memory_model", "diagnostics": [{"code", "severity", "message", "var",
+"locations": [{"func", "line"}]}], "summary": {...}}`` — consumers (CI
+lint gates, editors) key off ``code`` and ``severity``, never off message
+text.  Diagnostics are sorted by (code, function, site) so the output is
 byte-for-byte deterministic; ``schema_version`` bumps whenever a key is
 added, removed, or the sort order changes.
 """
@@ -25,7 +28,8 @@ import json
 from dataclasses import dataclass, field
 
 # Version of the `repro analyze --json` payload (golden-file tested).
-SCHEMA_VERSION = 1
+# v3: added the top-level "memory_model" key (SR4xx robustness pass).
+SCHEMA_VERSION = 3
 
 ERROR = "error"
 WARNING = "warning"
@@ -73,6 +77,7 @@ class StaticReport:
     """The full output of ``repro analyze`` for one program."""
 
     program_name: str
+    memory_model: str = "sc"  # model the SR4xx robustness pass ran under
     diagnostics: list = field(default_factory=list)
     # var -> (shared?, reason) — the escape-pass classification table.
     variables: dict = field(default_factory=dict)
@@ -105,7 +110,11 @@ class StaticReport:
     # -- rendering -------------------------------------------------------
 
     def to_text(self):
-        lines = ["static analysis: %s" % self.program_name, ""]
+        lines = [
+            "static analysis: %s [memory model: %s]"
+            % (self.program_name, self.memory_model),
+            "",
+        ]
         lines.append("shared variables:")
         if self.variables:
             width = max(len(v) for v in self.variables)
@@ -129,6 +138,14 @@ class StaticReport:
                 lines.append("  " + diag.render())
         else:
             lines.append("  no races or lock-order cycles found")
+        suggestions = [
+            d for d in self.sorted_diagnostics() if d.code == "SR403"
+        ]
+        if suggestions:
+            lines.append("")
+            lines.append("fence suggestions:")
+            for diag in suggestions:
+                lines.append("  " + diag.render())
         lines.append("")
         lines.append(
             "summary: %d error(s), %d warning(s); %d racy variable(s), "
@@ -146,6 +163,7 @@ class StaticReport:
         payload = {
             "schema_version": SCHEMA_VERSION,
             "program": self.program_name,
+            "memory_model": self.memory_model,
             "variables": {
                 var: {
                     "shared": is_shared,

@@ -78,7 +78,11 @@ class ViolationPredicate:
       ``remote_write_lines`` (interleaving writer candidates);
     * SR302: ``read_line`` (in ``func``) and ``init_write_lines``;
     * SR303: ``condvar``/``mutex``, ``wait_line`` (in ``func``) and
-      ``signal_lines`` (the unprotected signals).
+      ``signal_lines`` (the unprotected signals);
+    * SR401/SR402 (robustness — see
+      :mod:`repro.analysis.static_race.robustness`): ``write_line``
+      (the delayed store, in ``func``) and ``reorder_read_lines`` /
+      ``reorder_write_lines`` (po-later accesses that may fly past it).
     """
 
     code: str
@@ -94,6 +98,8 @@ class ViolationPredicate:
     mutex: str = None
     wait_line: int = 0
     signal_lines: tuple = ()
+    reorder_read_lines: tuple = ()
+    reorder_write_lines: tuple = ()
 
 
 @dataclass

@@ -12,16 +12,26 @@ from repro.analysis.static_race.diagnostics import (
 from repro.analysis.static_race.lockorder import analyze_lock_order
 from repro.analysis.static_race.patterns import find_bug_patterns
 from repro.analysis.static_race.races import analyze_races
+from repro.analysis.static_race.robustness import analyze_robustness
 
 
-def analyze_program(program, name="<program>"):
-    """Run every static pass and fold the results into one report."""
+def analyze_program(program, name="<program>", memory_model="sc"):
+    """Run every static pass and fold the results into one report.
+
+    ``memory_model`` selects the robustness pass' target: under ``sc``
+    no SR4xx diagnostics are emitted (sequential consistency has
+    nothing to delay); ``tso`` reports store->load cycles (SR401);
+    ``pso`` adds store->store cycles (SR402).  Fence suggestions
+    (SR403) cover every cycle found for the selected model.
+    """
     races = analyze_races(program)
     lock_order = analyze_lock_order(program)
     patterns = find_bug_patterns(program, races=races)
+    robustness = analyze_robustness(program, memory_model, races=races)
 
     report = StaticReport(
         program_name=name,
+        memory_model=memory_model,
         variables=races.classification,
         consistent_locks=races.consistent_locks,
         racy_vars=set(races.racy_vars),
@@ -80,6 +90,9 @@ def analyze_program(program, name="<program>"):
         )
 
     for diag in patterns.diagnostics:
+        report.add(diag)
+
+    for diag in robustness.diagnostics:
         report.add(diag)
 
     for cycle in lock_order.cycles:

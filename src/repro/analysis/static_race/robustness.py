@@ -1,0 +1,439 @@
+"""Shasha-Snir weak-memory robustness analysis (SR401/SR402/SR403).
+
+A program is *robust* against a weak memory model when every execution
+under that model is equivalent to some sequentially consistent one.
+Shasha and Snir characterise non-robustness with the *conflict graph*:
+nodes are shared-access sites, edges are program order (po) and
+cross-thread conflicts (same variable, at least one write, may happen
+in parallel).  An execution exhibits weak-only behaviour exactly when
+its happens-before relation contains a cycle through a *delayed* edge —
+a po edge the model's store buffers can reorder:
+
+* **store -> load** to a different address: the store sits in the FIFO
+  buffer while the load reads global memory early.  Breaks under both
+  TSO and PSO (``SR401``).
+* **store -> store** to a different address: only PSO's per-address
+  buffers can commit them out of order (``SR402``).
+
+This pass lifts the characterisation to static sites (reusing the
+race analysis' site extraction and MHP oracle): a po edge ``a -> b``
+is *delayable* when ``a`` is a shared store, ``b`` is forward reachable
+from ``a`` along some intra-function path crossing **no fence** (every
+sync operation drains the buffers — see ``fences()`` in
+:mod:`repro.constraints.memory_order` — while ``yield`` does not), and
+the two accesses may target different addresses (same-variable scalar
+pairs are pinned by FIFO order and store-to-load forwarding; array
+accesses may hit different elements, so they stay delayable).  A
+delayable edge completes a *critical cycle* when the conflict graph
+contains a path from ``b`` back to ``a``.
+
+The pass over-approximates in the "may" direction — reported cycles
+are candidates that ``repro explore`` validates dynamically by solving
+for (and replaying) an actual weak-memory witness.  In the other
+direction the detection is complete for the straight-line litmus shape
+(no calls between the endpoints): if no critical cycle exists, every
+TSO/PSO execution is SC-equivalent, which the brute-force property
+test checks by exhaustive enumeration.
+
+``SR403`` is the remediation: a greedy minimum hitting set of fence
+placements (each "immediately after a delayed store") that cuts every
+critical cycle, verified by re-running the fence-free reachability
+with the candidate fence inserted.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.minilang import bytecode as bc
+from repro.runtime.memory import MEMORY_MODELS, PSO, SC, TSO
+from repro.analysis.static_race.diagnostics import (
+    INFO,
+    WARNING,
+    Diagnostic,
+    Location,
+)
+from repro.analysis.static_race.patterns import PatternReport, ViolationPredicate
+from repro.analysis.static_race.races import analyze_races
+from repro.analysis.static_race.sites import sites_by_var
+from repro.analysis.static_race.valueflow import _back_edges, _forward_reach
+
+# Opcodes whose runtime handlers drain the executing thread's store
+# buffers (the interpreter calls ``_fence`` before every sync SAP, and
+# the encoder's ``fences()`` orders all non-yield sync SAPs in Fmo).
+# YIELD is deliberately absent: sched_yield has no barrier semantics.
+_FENCE_OPS = frozenset(
+    {bc.LOCK, bc.UNLOCK, bc.WAIT, bc.SIGNAL, bc.BROADCAST, bc.SPAWN, bc.JOIN, bc.FENCE}
+)
+
+# Models under which each reordering kind is observable.
+_EDGE_MODELS = {"SR401": (TSO, PSO), "SR402": (PSO,)}
+
+
+@dataclass(frozen=True)
+class DelayedEdge:
+    """A delayable po edge: ``src`` (the store) may commit after ``dst``."""
+
+    code: str  # SR401 (store->load) | SR402 (store->store)
+    src: object  # AccessSite of the delayed store
+    dst: object  # AccessSite of the access that may fly past it
+
+    @property
+    def sort_key(self):
+        return (self.code, self.src.point, self.dst.point)
+
+
+@dataclass(frozen=True)
+class CriticalCycle:
+    """A delayed edge plus a conflict-graph path closing the cycle."""
+
+    edge: DelayedEdge
+    path: tuple  # AccessSites from edge.dst back to edge.src (inclusive)
+
+    def vars(self):
+        names = {self.edge.src.var, self.edge.dst.var}
+        names.update(site.var for site in self.path)
+        return names
+
+
+@dataclass(frozen=True)
+class FencePlacement:
+    """One inferred fence: insert ``fence;`` right after the store."""
+
+    func: str
+    line: int  # source line of the store the fence follows
+    var: str  # variable the preceding store writes
+    cuts: int  # critical cycles this placement cuts
+
+
+@dataclass
+class RobustnessReport:
+    """Output of :func:`analyze_robustness` for one (program, model)."""
+
+    memory_model: str
+    cycles: list = field(default_factory=list)  # CriticalCycle
+    fence_plan: list = field(default_factory=list)  # FencePlacement
+    diagnostics: list = field(default_factory=list)
+    predicates: list = field(default_factory=list)  # None for SR403 rows
+
+    @property
+    def robust(self):
+        return not self.cycles
+
+    def pattern_report(self):
+        """The explorable findings as a :class:`PatternReport`."""
+        report = PatternReport()
+        for diag, pred in zip(self.diagnostics, self.predicates):
+            if pred is not None:
+                report.add(diag, pred)
+        return report
+
+
+def analyze_robustness(program, memory_model, races=None):
+    """Run the Shasha-Snir robustness pass for one memory model.
+
+    Under ``sc`` the report is trivially robust (there is nothing to
+    delay).  Under ``tso`` only store->load edges are delayable; under
+    ``pso`` store->store edges join them.
+    """
+    if memory_model not in MEMORY_MODELS:
+        raise ValueError(
+            "unknown memory model %r (expected one of %s)"
+            % (memory_model, MEMORY_MODELS)
+        )
+    report = RobustnessReport(memory_model=memory_model)
+    if memory_model == SC:
+        return report
+
+    if races is None:
+        races = analyze_races(program)
+    shared = races.shared_vars()
+    sites = [s for s in races.sites if s.var in shared]
+    if not sites:
+        return report
+
+    graph = _ConflictGraph(program, sites, races.mhp)
+    codes = ["SR401"] if memory_model == TSO else ["SR401", "SR402"]
+    for edge in graph.delayed_edges(codes):
+        path = graph.cycle_path(edge)
+        if path is not None:
+            report.cycles.append(CriticalCycle(edge=edge, path=path))
+
+    report.fence_plan = _infer_fences(program, graph, report.cycles)
+    _emit_diagnostics(report)
+    return report
+
+
+def robustness_patterns(program, memory_model, races=None):
+    """Explorable SR401/SR402 findings only (for the explore driver)."""
+    return analyze_robustness(
+        program, memory_model, races=races
+    ).pattern_report()
+
+
+# -- conflict graph ---------------------------------------------------------
+
+
+class _ConflictGraph:
+    """Program-order and conflict edges over shared-access sites."""
+
+    def __init__(self, program, sites, mhp):
+        self.program = program
+        self.sites = sorted(sites, key=lambda s: s.point)
+        self.mhp = mhp
+        self._by_func = {}
+        for site in self.sites:
+            self._by_func.setdefault(site.func, []).append(site)
+        # Acyclic forward reachability per function, for po edges.
+        self._reach = {}
+        for name in self._by_func:
+            func = program.functions[name]
+            skip = _back_edges(func)
+            self._reach[name] = {
+                block.id: _forward_reach(func, block.id, skip)
+                for block in func.blocks
+            }
+        self._conflicts = self._conflict_adjacency()
+
+    # -- po ----------------------------------------------------------------
+
+    def po(self, a, b):
+        """Is ``b`` strictly program-order after ``a`` (same function,
+        same-iteration paths only — back edges excluded)?"""
+        if a.func != b.func:
+            return False
+        if a.block == b.block:
+            return a.index < b.index or b.block in self._reach[a.func][a.block]
+        return b.block in self._reach[a.func][a.block]
+
+    def po_successors(self, a):
+        return [b for b in self._by_func.get(a.func, ()) if self.po(a, b)]
+
+    # -- conflicts -----------------------------------------------------------
+
+    def _conflict_adjacency(self):
+        adj = {site: [] for site in self.sites}
+        by_var = sites_by_var(self.sites)
+        for var in sorted(by_var):
+            group = by_var[var]
+            for i, a in enumerate(group):
+                for b in group[i:]:
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if a is b and not any(
+                        self.mhp.self_parallel(r) for r in self.mhp.roots_of(a.func)
+                    ):
+                        continue
+                    if not self.mhp.may_happen_in_parallel(a, b):
+                        continue
+                    adj[a].append(b)
+                    if b is not a:
+                        adj[b].append(a)
+        return adj
+
+    # -- delayable edges -----------------------------------------------------
+
+    def delayed_edges(self, codes):
+        """All delayable po edges of the requested kinds, in site order."""
+        edges = []
+        for name in sorted(self._by_func):
+            func = self.program.functions[name]
+            for a in self._by_func[name]:
+                if not a.is_write:
+                    continue
+                for b in self.po_successors(a):
+                    code = "SR401" if b.kind != a.kind else "SR402"
+                    if code not in codes:
+                        continue
+                    # Same scalar address: FIFO order and store-to-load
+                    # forwarding pin the pair; array accesses may hit
+                    # different elements, so they stay delayable.
+                    if a.var == b.var and not (a.is_array or b.is_array):
+                        continue
+                    if not self._fence_free(func, a, b):
+                        continue
+                    edges.append(DelayedEdge(code=code, src=a, dst=b))
+        edges.sort(key=lambda e: e.sort_key)
+        return edges
+
+    def _fence_free(self, func, a, b, extra=frozenset()):
+        """Does some intra-function path from just after ``a`` reach ``b``
+        without crossing a fence (or a hypothetical fence in ``extra``)?
+        Back edges count: a loop-around fence-free path is a real path."""
+        target = (b.block, b.index)
+        stack = [(a.block, a.index + 1)]
+        seen = set()
+        while stack:
+            pos = stack.pop()
+            if pos in seen:
+                continue
+            seen.add(pos)
+            block_id, idx = pos
+            if pos in extra:
+                continue  # hypothetical fence *before* this instruction
+            if pos == target:
+                return True
+            block = func.blocks[block_id]
+            if idx >= len(block.instrs):
+                stack.extend((succ, 0) for succ in block.successors())
+                continue
+            if block.instrs[idx].op in _FENCE_OPS:
+                continue  # buffers drained: nothing delays past here
+            stack.append((block_id, idx + 1))
+        return False
+
+    # -- critical cycles ------------------------------------------------------
+
+    def cycle_path(self, edge):
+        """A conflict-graph path from ``edge.dst`` back to ``edge.src``,
+        or None when the delayed edge closes no cycle.  BFS over
+        conflict and po edges, so the witness path is shortest."""
+        start, goal = edge.dst, edge.src
+        parents = {start: None}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for succ in self._neighbors(node):
+                    if succ in parents:
+                        continue
+                    parents[succ] = node
+                    if succ is goal:
+                        path = [succ]
+                        while path[-1] is not None:
+                            path.append(parents[path[-1]])
+                        path.pop()
+                        path.reverse()
+                        return tuple(path)
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    def _neighbors(self, node):
+        return self._conflicts.get(node, []) + self.po_successors(node)
+
+
+# -- fence inference (SR403) -------------------------------------------------
+
+
+def _infer_fences(program, graph, cycles):
+    """Greedy minimum hitting set: pick fence placements (each just
+    after a delayed store) until every critical cycle is cut.  A
+    placement cuts a cycle when, with the fence inserted, no fence-free
+    path connects the cycle's delayed edge anymore."""
+    if not cycles:
+        return []
+    candidates = sorted(
+        {cycle.edge.src for cycle in cycles}, key=lambda s: s.point
+    )
+
+    def cuts(candidate, cycle):
+        edge = cycle.edge
+        if edge.src.func != candidate.func:
+            return False
+        func = program.functions[edge.src.func]
+        extra = frozenset({(candidate.block, candidate.index + 1)})
+        return not graph._fence_free(func, edge.src, edge.dst, extra=extra)
+
+    plan = []
+    uncut = list(cycles)
+    while uncut:
+        best, best_cut = None, []
+        for candidate in candidates:
+            cut = [c for c in uncut if cuts(candidate, c)]
+            if len(cut) > len(best_cut):
+                best, best_cut = candidate, cut
+        if best is None:
+            break  # remaining cycles have no candidate placement
+        plan.append(
+            FencePlacement(
+                func=best.func, line=best.line, var=best.var, cuts=len(best_cut)
+            )
+        )
+        candidates = [c for c in candidates if c is not best]
+        uncut = [c for c in uncut if c not in best_cut]
+    return plan
+
+
+# -- diagnostics --------------------------------------------------------------
+
+
+_KIND_LABEL = {"SR401": "store->load", "SR402": "store->store"}
+
+
+def _emit_diagnostics(report):
+    """Group cycles per (code, delayed store) into SR401/SR402 warnings
+    with explorable predicates, then append the SR403 fence plan."""
+    grouped = {}
+    for cycle in report.cycles:
+        key = (cycle.edge.code, cycle.edge.src.point)
+        grouped.setdefault(key, []).append(cycle)
+
+    for key in sorted(grouped):
+        cycles = grouped[key]
+        code = cycles[0].edge.code
+        src = cycles[0].edge.src
+        dsts = sorted(
+            {c.edge.dst for c in cycles}, key=lambda s: (s.point, s.kind)
+        )
+        focus = set()
+        for c in cycles:
+            focus |= c.vars()
+        models = "/".join(_EDGE_MODELS[code])
+        dst_lines = sorted({d.line for d in dsts})
+        locs = tuple(
+            sorted(
+                {Location(src.func, src.line)}
+                | {Location(d.func, d.line) for d in dsts},
+                key=lambda loc: (loc.func, loc.line),
+            )
+        )
+        report.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=WARNING,
+                message="robustness violation on %r: the store at %s:%d may "
+                "be delayed past the %s at line(s) %s (%s reordering under "
+                "%s), completing a critical cycle"
+                % (
+                    src.var,
+                    src.func,
+                    src.line,
+                    "load(s)" if code == "SR401" else "store(s)",
+                    ", ".join(str(line) for line in dst_lines),
+                    _KIND_LABEL[code],
+                    models,
+                ),
+                var=src.var,
+                locations=locs,
+            )
+        )
+        pred = ViolationPredicate(
+            code=code,
+            var=src.var,
+            func=src.func,
+            description="%s reordering of %r" % (_KIND_LABEL[code], src.var),
+            focus_vars=tuple(sorted(focus)),
+            write_line=src.line,
+            reorder_read_lines=tuple(dst_lines) if code == "SR401" else (),
+            reorder_write_lines=tuple(dst_lines) if code == "SR402" else (),
+        )
+        report.predicates.append(pred)
+
+    for placement in report.fence_plan:
+        report.diagnostics.append(
+            Diagnostic(
+                code="SR403",
+                severity=INFO,
+                message="fence inference: insert 'fence;' after the store "
+                "to %r at %s:%d — cuts %d critical cycle(s) under %s"
+                % (
+                    placement.var,
+                    placement.func,
+                    placement.line,
+                    placement.cuts,
+                    report.memory_model,
+                ),
+                var=placement.var,
+                locations=(Location(placement.func, placement.line),),
+            )
+        )
+        report.predicates.append(None)

@@ -670,6 +670,9 @@ class SymbolicExecutor:
     def _op_yield(self, frame, instr):
         self.emit(ev.YIELD, line=instr.line)
 
+    def _op_fence(self, frame, instr):
+        self.emit(ev.FENCE, line=instr.line)
+
     def _op_print(self, frame, instr):
         nargs = instr.arg
         if nargs:
@@ -696,6 +699,7 @@ class SymbolicExecutor:
         bc.ASSERT: _op_assert,
         bc.ASSUME: _op_assume,
         bc.YIELD: _op_yield,
+        bc.FENCE: _op_fence,
         bc.PRINT: _op_print,
     }
 

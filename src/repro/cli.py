@@ -204,7 +204,9 @@ def cmd_analyze(args):
     from repro.analysis.static_race import analyze_program
 
     program = _load_program(args.program)
-    report = analyze_program(program, name=args.program)
+    report = analyze_program(
+        program, name=args.program, memory_model=args.memory_model
+    )
     if args.json:
         print(report.to_json())
     else:
@@ -226,6 +228,7 @@ def cmd_explore(args):
         flush_prob=args.flush_prob,
         max_cs=args.max_cs,
         static_prune=args.static_prune,
+        codes=tuple(c for c in (args.codes or "").split(",") if c),
     )
     corpus = None
     if args.corpus:
@@ -253,9 +256,10 @@ def cmd_explore(args):
             )
             if t.found:
                 print(
-                    "    seed=%d rung=%d bound=%d attempts=%d"
+                    "    model=%s seed=%d rung=%d bound=%d attempts=%d"
                     " schedules=%d %.2fs%s"
                     % (
+                        t.memory_model,
                         t.seed,
                         t.rung,
                         t.bound,
@@ -413,15 +417,21 @@ def cmd_corpus_ls(args):
     for entry in entries:
         manifest = entry.manifest
         stats = manifest.get("stats", {})
+        provenance = manifest.get("provenance") or {}
+        origin = ""
+        if provenance.get("mode") == "explore":
+            origin = "  [explore %s]" % provenance.get("code", "?")
         print(
-            "%-28s %-10s seed=%-4d threads=%d saps=%-4d %s%s"
+            "%-28s %-10s %-4s seed=%-4d threads=%d saps=%-4d %s%s%s"
             % (
                 entry.entry_id,
                 manifest["program"]["name"],
+                manifest["record"].get("memory_model", "sc"),
                 manifest["record"]["seed"],
                 len(stats.get("thread_names", [])),
                 stats.get("n_saps", 0),
                 manifest.get("bug", {}).get("message", ""),
+                origin,
                 "  [recovered]" if manifest.get("recovered") else "",
             )
         )
@@ -564,9 +574,15 @@ def build_parser():
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser(
-        "analyze", help="static race/deadlock analysis of a program"
+        "analyze", help="static race/deadlock/robustness analysis of a program"
     )
     p.add_argument("program", help="MiniLang source file")
+    p.add_argument(
+        "--memory-model",
+        default="sc",
+        choices=["sc", "tso", "pso"],
+        help="target model for the SR4xx robustness pass (sc: skip it)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument(
         "--fail-on-race",
@@ -577,10 +593,14 @@ def build_parser():
 
     p = sub.add_parser(
         "explore",
-        help="search for witnesses of static SR3xx findings (no failing "
-        "recording needed)",
+        help="search for witnesses of static SR3xx/SR4xx findings (no "
+        "failing recording needed)",
     )
     _common_run_flags(p)
+    p.add_argument(
+        "--codes",
+        help="comma-separated predicate codes to search (e.g. SR401,SR402)",
+    )
     p.add_argument(
         "--max-seeds",
         type=int,

@@ -354,7 +354,26 @@ class ClapPipeline:
         reproduces failures long after the recording process is gone.
         ``cache`` (an :class:`repro.store.cache.AnalysisCache`) lets the
         analysis phase skip symexec + encode on content-address hits.
+
+        The recording's memory model is part of its identity: a trace
+        validated under TSO only reproduces under TSO semantics, so a
+        mismatch with this pipeline's configured model is refused.
         """
+        recorded_model = getattr(recorded, "memory_model", None)
+        if recorded_model is not None and (
+            recorded_model != self.config.memory_model
+        ):
+            raise ClapError(
+                "recording %s was made under memory model %r but this "
+                "pipeline is configured for %r; re-open it with a matching "
+                "--memory-model (witness schedules are only valid under "
+                "the model they were replay-validated on)"
+                % (
+                    getattr(recorded, "entry_id", "<in-memory>"),
+                    recorded_model,
+                    self.config.memory_model,
+                )
+            )
         if report is None:
             report = ClapReport(
                 program_name=self.program.name,

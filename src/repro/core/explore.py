@@ -26,22 +26,43 @@ assert outcome flips — so a witness is a genuine schedule of the
 """
 
 import copy
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 from repro.minilang import compile_source
 from repro.minilang.compiler import CompiledProgram
-from repro.analysis.static_race import find_bug_patterns
+from repro.analysis.static_race import find_bug_patterns, robustness_patterns
 from repro.analysis.symbolic import free_syms, mk_binop, mk_not
 from repro.analysis.symexec import execute_recorded_paths
 from repro.constraints.encoder import assign_atom_numbering, encode
 from repro.constraints.model import Clause, Lit, OLt, SWChoice
 from repro.core.clap import ClapConfig, ClapPipeline
 from repro.runtime import events as ev
+from repro.runtime.memory import MEMORY_MODELS, PSO, SC, TSO
 from repro.runtime.replay import ReplayError, replay_schedule
 from repro.solver.smt import solve_constraints_bounded
 from repro.tracing.decoder import decode_log
 from repro.tracing.recorder import PathRecorder
+
+# Version of the `repro explore --json` payload (golden-file tested).
+EXPLORE_SCHEMA_VERSION = 1
+
+# Predicates the driver knows how to compile into goal clauses.
+_EXPLORABLE = ("SR301", "SR302", "SR303", "SR401", "SR402")
+
+# The weakest memory model under which each predicate's interleaving can
+# exist at all: SR3xx witnesses are schedule bugs (searchable under SC);
+# SR401 needs a store buffer (TSO); SR402 needs per-address buffers (PSO).
+_MIN_MODEL = {
+    "SR301": SC,
+    "SR302": SC,
+    "SR303": SC,
+    "SR401": TSO,
+    "SR402": PSO,
+}
+
+_MODEL_RANK = {model: rank for rank, model in enumerate(MEMORY_MODELS)}
 
 
 class ExploreError(Exception):
@@ -69,6 +90,8 @@ class ExploreConfig:
     # Static Frw pruning for the encoded system (same switch as
     # ``repro reproduce --static-prune``).
     static_prune: bool = True
+    # Restrict the search to these predicate codes (empty: all known).
+    codes: tuple = ()
 
     def clap_config(self):
         return ClapConfig(
@@ -90,8 +113,12 @@ class TargetOutcome:
     var: str
     func: str
     description: str
-    # 'witness' | 'no-witness' | 'no-run' | 'no-assert'
+    # 'witness' | 'no-witness' | 'no-run' | 'no-assert' | 'model-gated'
     status: str = "no-run"
+    # Model the winning attempt was encoded, solved and replayed under
+    # (the search ladders from the predicate's weakest viable model up
+    # to the configured target); empty until a witness is found.
+    memory_model: str = ""
     seed: int = -1  # passing seed whose paths backed the witness search
     assert_thread: str = ""
     assert_line: int = 0
@@ -115,6 +142,7 @@ class TargetOutcome:
             "func": self.func,
             "description": self.description,
             "status": self.status,
+            "memory_model": self.memory_model,
             "seed": self.seed,
             "assert_thread": self.assert_thread,
             "assert_line": self.assert_line,
@@ -145,14 +173,22 @@ class ExploreReport:
         return sum(1 for t in self.targets if t.found)
 
     def to_json(self):
+        # Versioned and deterministically ordered: targets sort by
+        # (code, func, var, description); consumers key off
+        # ``schema_version``, which bumps whenever a key is added,
+        # removed, or the sort order changes.
+        targets = sorted(
+            self.targets, key=lambda t: (t.code, t.func, t.var, t.description)
+        )
         return {
+            "schema_version": EXPLORE_SCHEMA_VERSION,
             "program": self.program,
             "memory_model": self.memory_model,
             "seeds_scanned": self.seeds_scanned,
             "passing_runs": self.passing_runs,
             "n_targets": len(self.targets),
             "n_witnesses": self.n_witnesses,
-            "targets": [t.to_json() for t in self.targets],
+            "targets": [t.to_json() for t in targets],
             "time_total": round(self.time_total, 6),
         }
 
@@ -184,9 +220,14 @@ class ExploreDriver:
             raise TypeError("program must be MiniLang source or CompiledProgram")
         self.pipeline = ClapPipeline(program, self.config.clap_config())
         self.program = self.pipeline.program
-        self.patterns = (
-            patterns if patterns is not None else find_bug_patterns(self.program)
-        )
+        if patterns is None:
+            patterns = find_bug_patterns(self.program)
+            # Weak-memory robustness findings are explorable too: each
+            # SR401/SR402 cycle compiles into a reordering goal.
+            weak = robustness_patterns(self.program, self.config.memory_model)
+            for diag, pred in zip(weak.diagnostics, weak.predicates):
+                patterns.add(diag, pred)
+        self.patterns = patterns
         self._runs = []  # materialized passing runs, in seed order
         self._seed_iter = iter(range(self.config.max_seeds))
         self.seeds_scanned = 0
@@ -223,6 +264,8 @@ class ExploreDriver:
             return self._combos_order(pred, saps)
         if pred.code == "SR303":
             return self._combos_lost_notify(pred, saps)
+        if pred.code in ("SR401", "SR402"):
+            return self._combos_reorder(pred, summaries)
         return []
 
     def _combos_atomicity(self, pred, saps):
@@ -311,6 +354,37 @@ class ExploreDriver:
                 combos.append((SWChoice(sig.uid, w.uid),))
         return combos[: self.config.max_combos]
 
+    def _combos_reorder(self, pred, summaries):
+        """SR401/SR402 goals: pin the critical cycle's delayed edge by
+        committing a po-later access *before* the delayed store in
+        memory order — UNSAT under SC (Fmo chains the whole program
+        order), satisfiable exactly when the target model's store
+        buffers may delay the store."""
+        want_read = pred.code == "SR401"
+        lines = pred.reorder_read_lines if want_read else pred.reorder_write_lines
+        combos = []
+        for thread in sorted(summaries):
+            seq = summaries[thread].saps
+            for i, w in enumerate(seq):
+                if not (
+                    w.is_write
+                    and w.line == pred.write_line
+                    and _addr_var(w.addr) == pred.var
+                ):
+                    continue
+                for later in seq[i + 1 :]:
+                    if not later.is_data:
+                        if later.kind == ev.YIELD:
+                            continue  # yield is not a fence
+                        break  # sync SAP: the buffers drain here
+                    if later.addr == w.addr:
+                        continue  # same address: FIFO/forwarding pins it
+                    if later.line not in lines:
+                        continue
+                    if later.is_read is want_read:
+                        combos.append((OLt(later.uid, w.uid),))
+        return combos[: self.config.max_combos]
+
     # -- assert retargeting ------------------------------------------------
 
     def _candidate_asserts(self, pred, summaries):
@@ -378,15 +452,16 @@ class ExploreDriver:
 
     # -- one solve attempt -------------------------------------------------
 
-    def _encode_goal(self, run, pred, thread, assert_idx, goal_atoms):
-        """Build the constraint system for one (assert, combo) attempt.
-        Returns (system, cond, line) or None when a SWChoice goal names a
-        pair the encoder does not consider a signal-wait candidate."""
+    def _encode_goal(self, run, pred, thread, assert_idx, goal_atoms, model):
+        """Build the constraint system for one (assert, combo) attempt
+        under ``model``.  Returns (system, cond, line) or None when a
+        SWChoice goal names a pair the encoder does not consider a
+        signal-wait candidate."""
         summaries = copy.deepcopy(run.summaries)
         cond, line = self._retarget(summaries, thread, assert_idx)
         system = encode(
             summaries,
-            self.config.memory_model,
+            model,
             self.program.symbols,
             self.pipeline.shared,
             prune=self.pipeline.prune_info,
@@ -402,8 +477,8 @@ class ExploreDriver:
         assign_atom_numbering(system)
         return system, cond, line
 
-    def _attempt(self, run, pred, thread, assert_idx, goal_atoms, rung, out):
-        built = self._encode_goal(run, pred, thread, assert_idx, goal_atoms)
+    def _attempt(self, run, pred, thread, assert_idx, goal_atoms, rung, model, out):
+        built = self._encode_goal(run, pred, thread, assert_idx, goal_atoms, model)
         if built is None:
             return None
         system, cond, line = built
@@ -423,15 +498,16 @@ class ExploreDriver:
 
     # -- replay validation + storage --------------------------------------
 
-    def _validate(self, res, pred, thread, line, corpus, out):
-        """Replay the model's schedule; accept only when the retargeted
-        assert actually fails.  Stores the witness recording on success."""
+    def _validate(self, res, pred, thread, line, corpus, model, out):
+        """Replay the model's schedule under ``model``; accept only when
+        the retargeted assert actually fails.  Stores the witness
+        recording on success, stamped with the validating model."""
         recorder = PathRecorder(self.program, paths=self.pipeline.paths)
         try:
             outcome = replay_schedule(
                 self.program,
                 res.schedule,
-                memory_model=self.config.memory_model,
+                memory_model=model,
                 shared=self.pipeline.shared,
                 expected_bug=None,
                 hooks=[recorder],
@@ -442,6 +518,7 @@ class ExploreDriver:
         if bug is None or bug.kind != "assertion" or bug.line != line:
             return False
         out.status = "witness"
+        out.memory_model = model
         out.assert_thread = bug.thread
         out.assert_line = line
         out.schedule = ["%s#%d" % uid for uid in res.schedule]
@@ -453,7 +530,9 @@ class ExploreDriver:
                 recorder,
                 outcome.result,
                 name=self.program.name,
-                config=self.pipeline.config,
+                config=dataclasses.replace(
+                    self.pipeline.config, memory_model=model
+                ),
                 tag=pred.code.lower(),
                 provenance={
                     "mode": "explore",
@@ -461,6 +540,7 @@ class ExploreDriver:
                     "var": pred.var,
                     "func": pred.func,
                     "description": pred.description,
+                    "memory_model": model,
                     "seed": out.seed,
                     "rung": out.rung,
                     "bound": res.bound,
@@ -471,6 +551,16 @@ class ExploreDriver:
 
     # -- per-predicate search ----------------------------------------------
 
+    def _model_ladder(self, pred):
+        """Memory models to attempt for ``pred``, strongest first: from
+        the weakest model that can exhibit the predicate's interleaving
+        up to the configured target.  SAT is monotone down the ladder
+        (weaker models drop Fmo constraints), so the search stops at the
+        first witness and records the strongest model that admits it."""
+        lo = _MODEL_RANK[_MIN_MODEL[pred.code]]
+        hi = _MODEL_RANK[self.config.memory_model]
+        return [m for m in MEMORY_MODELS if lo <= _MODEL_RANK[m] <= hi]
+
     def _search(self, diag, pred, corpus):
         out = TargetOutcome(
             code=pred.code,
@@ -479,6 +569,13 @@ class ExploreDriver:
             description=pred.description,
         )
         t0 = time.monotonic()
+        ladder = self._model_ladder(pred)
+        if not ladder:
+            # The predicate needs a weaker model than the search target
+            # (e.g. an SR401 finding under --memory-model sc).
+            out.status = "model-gated"
+            out.time_search = time.monotonic() - t0
+            return out
         for run in self._iter_runs():
             combos = self._goal_combos(pred, run.summaries)
             if not combos:
@@ -491,18 +588,30 @@ class ExploreDriver:
             out.seed = run.seed
             out.status = "no-witness"
             done = False
-            for thread, assert_idx in asserts:
-                for goal_atoms in combos:
-                    for rung in (0, 1):  # pinned reads, then unpinned
-                        hit = self._attempt(
-                            run, pred, thread, assert_idx, goal_atoms, rung, out
-                        )
-                        if hit is None:
-                            continue
-                        res, line, _t = hit
-                        out.rung = rung
-                        if self._validate(res, pred, thread, line, corpus, out):
-                            done = True
+            for model in ladder:
+                for thread, assert_idx in asserts:
+                    for goal_atoms in combos:
+                        for rung in (0, 1):  # pinned reads, then unpinned
+                            hit = self._attempt(
+                                run,
+                                pred,
+                                thread,
+                                assert_idx,
+                                goal_atoms,
+                                rung,
+                                model,
+                                out,
+                            )
+                            if hit is None:
+                                continue
+                            res, line, _t = hit
+                            out.rung = rung
+                            if self._validate(
+                                res, pred, thread, line, corpus, model, out
+                            ):
+                                done = True
+                                break
+                        if done:
                             break
                     if done:
                         break
@@ -519,7 +628,9 @@ class ExploreDriver:
             program=self.program.name, memory_model=self.config.memory_model
         )
         for diag, pred in zip(self.patterns.diagnostics, self.patterns.predicates):
-            if pred.code not in ("SR301", "SR302", "SR303"):
+            if pred.code not in _EXPLORABLE:
+                continue
+            if self.config.codes and pred.code not in self.config.codes:
                 continue
             report.targets.append(self._search(diag, pred, corpus))
         report.seeds_scanned = self.seeds_scanned

@@ -192,6 +192,11 @@ class YieldStmt(Stmt):
 
 
 @dataclass
+class FenceStmt(Stmt):
+    pass
+
+
+@dataclass
 class PrintStmt(Stmt):
     args: list
 

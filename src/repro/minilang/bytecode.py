@@ -33,6 +33,7 @@ SIGNAL c/BROADCAST c  condvar ops                     (sync SAPs)
 ASSERT msg            pop c; record bug if !c
 ASSUME                pop c; abandon execution if !c
 YIELD                 scheduling hint
+FENCE                 drain this thread's store buffers (sync SAP)
 PRINT k               pop k values; emit output event
 ====================  =======================================================
 """
@@ -64,6 +65,7 @@ BROADCAST = "BROADCAST"
 ASSERT = "ASSERT"
 ASSUME = "ASSUME"
 YIELD = "YIELD"
+FENCE = "FENCE"
 PRINT = "PRINT"
 
 TERMINATORS = frozenset({JUMP, BRANCH, RET})

@@ -270,6 +270,9 @@ class _FunctionCompiler:
     def stmt_YieldStmt(self, stmt):
         self.emit(bc.YIELD, line=stmt.line)
 
+    def stmt_FenceStmt(self, stmt):
+        self.emit(bc.FENCE, line=stmt.line)
+
     def stmt_PrintStmt(self, stmt):
         for arg in stmt.args:
             self.compile_expr(arg)

@@ -170,6 +170,7 @@ class _Parser:
             "assert": self.parse_assert,
             "assume": self.parse_assume,
             "yield": self.parse_yield,
+            "fence": self.parse_fence,
             "print": self.parse_print,
         }.get(kind)
         if handler is not None:
@@ -338,6 +339,11 @@ class _Parser:
         start = self.advance()
         self.expect(";")
         return ast.YieldStmt(**self.pos_of(start))
+
+    def parse_fence(self):
+        start = self.advance()
+        self.expect(";")
+        return ast.FenceStmt(**self.pos_of(start))
 
     def parse_print(self):
         start = self.advance()

@@ -146,6 +146,9 @@ class _Printer:
     def stmt_YieldStmt(self, node):
         self.emit("yield;")
 
+    def stmt_FenceStmt(self, node):
+        self.emit("fence;")
+
     def stmt_PrintStmt(self, node):
         self.emit("print(%s);" % ", ".join(pretty_expr(a) for a in node.args))
 

@@ -35,6 +35,7 @@ KEYWORDS = frozenset(
         "assert",
         "assume",
         "yield",
+        "fence",
         "print",
         "atomic_input",
         "nondet",

@@ -42,10 +42,11 @@ YIELD = "yield"
 JOIN = "join"
 START = "start"
 EXIT = "exit"
+FENCE = "fence"
 
 DATA_KINDS = frozenset({READ, WRITE})
 SYNC_KINDS = frozenset(
-    {LOCK, UNLOCK, WAIT, SIGNAL, BROADCAST, FORK, JOIN, START, EXIT, YIELD}
+    {LOCK, UNLOCK, WAIT, SIGNAL, BROADCAST, FORK, JOIN, START, EXIT, YIELD, FENCE}
 )
 
 # Kinds that are "must-interleave" operations for the context-switch

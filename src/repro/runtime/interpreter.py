@@ -590,6 +590,13 @@ class Interpreter:
         thread.just_yielded = True
         self._advance(thread)
 
+    def _op_fence(self, thread, frame, instr):
+        # A full memory fence: drains this thread's store buffers, same as
+        # the implicit fence before every sync SAP.
+        self._fence(thread)
+        self._emit_sap(thread, ev.FENCE, line=instr.line)
+        self._advance(thread)
+
     def _op_print(self, thread, frame, instr):
         nargs = instr.arg
         args = frame.stack[len(frame.stack) - nargs :] if nargs else []
@@ -622,6 +629,7 @@ class Interpreter:
         bc.ASSERT: _op_assert,
         bc.ASSUME: _op_assume,
         bc.YIELD: _op_yield,
+        bc.FENCE: _op_fence,
         bc.PRINT: _op_print,
     }
 

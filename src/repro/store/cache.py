@@ -35,7 +35,10 @@ from repro.tracing.logfmt import encode_tokens
 # ConstraintSystem classes, or the encoding rules change incompatibly:
 # every existing entry then invalidates itself on first touch.
 # v2: ThreadSummary grew the `asserts` field (explore retargeting).
-ANALYSIS_SCHEMA_VERSION = 2
+# v3: the FENCE sync SAP kind (weak-memory robustness pass) — cached
+#     summaries from before the fence statement existed must not be
+#     reused for programs that now compile differently.
+ANALYSIS_SCHEMA_VERSION = 3
 
 
 class AnalysisCache:

@@ -118,10 +118,13 @@ class StoredExecution:
     """
 
     def __init__(self, entry_id, program, seed, bug, logs, paths, stats,
-                 recovery=None):
+                 recovery=None, memory_model=None):
         self.entry_id = entry_id
         self.program = program
         self.seed = seed
+        # Model the entry was recorded/validated under (None for legacy
+        # manifests); reproduce_offline refuses a mismatched pipeline.
+        self.memory_model = memory_model
         self.shared = shared_variables(program)
         func_ids = {
             name: i for i, name in enumerate(sorted(program.functions))
@@ -260,6 +263,7 @@ class CorpusEntry:
             paths=paths,
             stats=self.manifest.get("stats", {}),
             recovery=recovery,
+            memory_model=self.manifest["record"].get("memory_model"),
         )
 
     def recover(self):

@@ -1,0 +1,242 @@
+"""Property test: the robustness verdict vs brute-force enumeration.
+
+Random straight-line two-worker litmus programs (stores of distinct
+constants, loads into locals, optional fences) are generated as abstract
+op lists, turned into MiniLang programs for the analyzer, and
+exhaustively enumerated under abstract SC/TSO/PSO semantics that share
+no code with ``repro.runtime.memory``:
+
+* SC interleaves ops directly;
+* TSO gives each thread one FIFO store buffer (loads forward from the
+  youngest buffered store to the same variable) with buffer flushes as
+  separate nondeterministic steps;
+* PSO keys the buffers per (thread, variable);
+* a fence is enabled only once the thread's own buffers are empty —
+  the gradual-drain formulation, equivalent to "fence drains buffers".
+
+A final state is (global values, per-thread load-value tuples).  The
+property is Shasha-Snir soundness: if the analyzer calls the program
+*robust* under a model, exhaustive enumeration under that model must
+reach no final state that SC cannot.  (The converse need not hold
+state-wise — a critical cycle witnesses a non-SC *trace*, whose final
+state may still coincide with an SC one — so only the robust direction
+is asserted per seed, plus an aggregate check that the generator
+actually produces both verdicts and genuinely weak behaviors.)
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.static_race.robustness import analyze_robustness
+from repro.minilang import compile_source
+
+N_SEEDS = 40
+
+
+# -- random straight-line litmus programs -----------------------------------
+
+
+def gen_litmus(rng, n_vars=2, max_ops=4):
+    """Two workers, each a straight-line op list over g0..g{n_vars-1}:
+    ('store', var, val) with globally unique values, ('load', var), or
+    ('fence',).  Returns {1: ops, 2: ops}."""
+    next_val = itertools.count(1)
+    threads = {}
+    for t in (1, 2):
+        ops = []
+        for _ in range(rng.randint(2, max_ops)):
+            roll = rng.random()
+            var = rng.randrange(n_vars)
+            if roll < 0.45:
+                ops.append(("store", var, next(next_val)))
+            elif roll < 0.85:
+                ops.append(("load", var))
+            else:
+                ops.append(("fence",))
+        threads[t] = ops
+    return threads
+
+
+def emit_source(threads, n_vars):
+    decls = "\n".join("int g%d = 0;" % v for v in range(n_vars))
+    funcs = []
+    for t, ops in sorted(threads.items()):
+        body = []
+        for i, op in enumerate(ops):
+            if op[0] == "store":
+                body.append("g%d = %d;" % (op[1], op[2]))
+            elif op[0] == "load":
+                body.append("int l%d = g%d;" % (i, op[1]))
+            else:
+                body.append("fence;")
+        funcs.append("void w%d() {\n    %s\n}" % (t, "\n    ".join(body)))
+    main = (
+        "int main() {\n"
+        "    int h1 = 0;\n    int h2 = 0;\n"
+        "    h1 = spawn w1();\n    h2 = spawn w2();\n"
+        "    join(h1);\n    join(h2);\n    return 0;\n}"
+    )
+    return decls + "\n\n" + "\n\n".join(funcs) + "\n\n" + main + "\n"
+
+
+# -- abstract enumerators ----------------------------------------------------
+#
+# State: (pcs, buffers, globals, loads) with every component hashable.
+# Buffers are per-thread tuples of (var, val) for TSO and per-(thread,
+# var) tuples for PSO; SC is the degenerate case with no buffers.
+
+
+def _enumerate(threads, n_vars, model):
+    tids = sorted(threads)
+    init_globals = tuple(0 for _ in range(n_vars))
+    if model == "sc":
+        init_buf = ()
+    elif model == "tso":
+        init_buf = tuple((t, ()) for t in tids)
+    else:  # pso
+        init_buf = tuple(((t, v), ()) for t in tids for v in range(n_vars))
+    init = (
+        tuple(0 for _ in tids),
+        init_buf,
+        init_globals,
+        tuple(() for _ in tids),
+    )
+    finals = set()
+    seen = set()
+    stack = [init]
+
+    def buf_get(buffers, key):
+        return dict(buffers)[key]
+
+    def buf_set(buffers, key, value):
+        return tuple((k, value if k == key else q) for k, q in buffers)
+
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        pcs, buffers, gvals, loads = state
+        for ti, t in enumerate(tids):
+            # Flush steps: commit the oldest buffered store of one queue.
+            if model == "tso":
+                queue = buf_get(buffers, t)
+                if queue:
+                    (var, val), rest = queue[0], queue[1:]
+                    ng = tuple(
+                        val if i == var else g for i, g in enumerate(gvals)
+                    )
+                    stack.append(
+                        (pcs, buf_set(buffers, t, rest), ng, loads)
+                    )
+            elif model == "pso":
+                for v in range(n_vars):
+                    queue = buf_get(buffers, (t, v))
+                    if queue:
+                        val, rest = queue[0], queue[1:]
+                        ng = tuple(
+                            val if i == v else g for i, g in enumerate(gvals)
+                        )
+                        stack.append(
+                            (pcs, buf_set(buffers, (t, v), rest), ng, loads)
+                        )
+            pc = pcs[ti]
+            if pc >= len(threads[t]):
+                continue
+            op = threads[t][pc]
+            npcs = tuple(p + 1 if i == ti else p for i, p in enumerate(pcs))
+            if op[0] == "fence":
+                # Enabled only once the thread's own buffers are empty
+                # (gradual drain; flush steps above do the draining).
+                if model == "tso" and buf_get(buffers, t):
+                    continue
+                if model == "pso" and any(
+                    buf_get(buffers, (t, v)) for v in range(n_vars)
+                ):
+                    continue
+                stack.append((npcs, buffers, gvals, loads))
+            elif op[0] == "store":
+                _kind, var, val = op
+                if model == "sc":
+                    ng = tuple(
+                        val if i == var else g for i, g in enumerate(gvals)
+                    )
+                    stack.append((npcs, buffers, ng, loads))
+                elif model == "tso":
+                    queue = buf_get(buffers, t) + ((var, val),)
+                    stack.append((npcs, buf_set(buffers, t, queue), gvals, loads))
+                else:
+                    queue = buf_get(buffers, (t, var)) + (val,)
+                    stack.append(
+                        (npcs, buf_set(buffers, (t, var), queue), gvals, loads)
+                    )
+            else:  # load
+                var = op[1]
+                val = gvals[var]
+                if model == "tso":
+                    for bvar, bval in reversed(buf_get(buffers, t)):
+                        if bvar == var:
+                            val = bval  # store forwarding
+                            break
+                elif model == "pso":
+                    queue = buf_get(buffers, (t, var))
+                    if queue:
+                        val = queue[-1]
+                nloads = tuple(
+                    ld + (val,) if i == ti else ld for i, ld in enumerate(loads)
+                )
+                stack.append((npcs, buffers, gvals, nloads))
+        if all(pcs[ti] >= len(threads[t]) for ti, t in enumerate(tids)):
+            drained = model == "sc" or all(not q for _k, q in buffers)
+            if drained:
+                finals.add((gvals, loads))
+    return finals
+
+
+# -- the property ------------------------------------------------------------
+
+
+def _case(seed):
+    rng = random.Random(seed)
+    n_vars = rng.randint(2, 3)
+    threads = gen_litmus(rng, n_vars=n_vars)
+    source = emit_source(threads, n_vars)
+    program = compile_source(source)
+    return threads, n_vars, source, program
+
+
+@pytest.mark.parametrize("model", ["tso", "pso"])
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_robust_implies_no_weak_final_state(seed, model):
+    threads, n_vars, source, program = _case(seed)
+    report = analyze_robustness(program, model)
+    if not report.robust:
+        return  # only the robust direction is a state-level guarantee
+    sc = _enumerate(threads, n_vars, "sc")
+    weak = _enumerate(threads, n_vars, model)
+    extra = weak - sc
+    assert not extra, (
+        "analyzer calls seed %d robust under %s but enumeration finds "
+        "weak-only final states %s\n%s" % (seed, model, sorted(extra), source)
+    )
+
+
+def test_generator_exercises_both_verdicts():
+    """Sanity: across the seed set the generator must produce robust and
+    non-robust programs, and at least one non-robust program must show a
+    genuinely weak final state — otherwise the property is vacuous."""
+    verdicts = {True: 0, False: 0}
+    weak_only_seen = False
+    for seed in range(N_SEEDS):
+        threads, n_vars, _source, program = _case(seed)
+        report = analyze_robustness(program, "pso")
+        verdicts[report.robust] += 1
+        if not report.robust and not weak_only_seen:
+            sc = _enumerate(threads, n_vars, "sc")
+            weak = _enumerate(threads, n_vars, "pso")
+            weak_only_seen = bool(weak - sc)
+    assert verdicts[True] > 0, "no robust programs generated"
+    assert verdicts[False] > 0, "no non-robust programs generated"
+    assert weak_only_seen, "no non-robust program showed a weak final state"

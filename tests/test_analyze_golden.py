@@ -6,6 +6,14 @@ JSON payload.  The CI ``analyze-lint`` job runs this module; any drift
 in the analyzer (new pass, changed message, reordered output) shows up
 as a readable JSON diff here instead of silently changing behavior.
 
+A program may opt into additional memory models with a marker comment::
+
+    // analyze-models: sc tso pso
+
+Each non-``sc`` model gets its own golden at ``expected/<name>.<model>.json``
+covering the SR4xx robustness diagnostics for that model; the plain
+``<name>.json`` golden is always the ``sc`` payload.
+
 Regenerate after an intentional analyzer change with::
 
     REGEN_ANALYZE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_analyze_golden.py
@@ -14,6 +22,7 @@ Regenerate after an intentional analyzer change with::
 import glob
 import json
 import os
+import re
 
 import pytest
 
@@ -28,18 +37,40 @@ EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.ml")))
 
 REGEN = bool(os.environ.get("REGEN_ANALYZE_GOLDENS"))
 
+_MODELS_MARKER = re.compile(r"^//\s*analyze-models:\s*(.+)$", re.MULTILINE)
+
 
 def _stem(path):
     return os.path.splitext(os.path.basename(path))[0]
 
 
-def _payload(path):
+def _models_of(path):
+    """Memory models declared by the example's marker comment (default:
+    just ``sc``, the pre-robustness behavior)."""
+    with open(path) as fh:
+        match = _MODELS_MARKER.search(fh.read())
+    if not match:
+        return ("sc",)
+    return tuple(match.group(1).split())
+
+
+def _golden_name(stem, model):
+    return stem + ".json" if model == "sc" else "%s.%s.json" % (stem, model)
+
+
+def _cases():
+    return [(path, model) for path in EXAMPLES for model in _models_of(path)]
+
+
+def _payload(path, model):
     # The program name in the payload is the repo-relative path, so the
     # goldens are stable regardless of the checkout location.
     rel = os.path.relpath(path, ROOT)
     with open(path) as fh:
         program = compile_source(fh.read(), name=rel)
-    return json.loads(analyze_program(program, name=rel).to_json())
+    return json.loads(
+        analyze_program(program, name=rel, memory_model=model).to_json()
+    )
 
 
 def test_examples_exist():
@@ -48,9 +79,11 @@ def test_examples_exist():
 
 def test_every_example_has_a_golden():
     missing = [
-        _stem(p)
-        for p in EXAMPLES
-        if not os.path.exists(os.path.join(EXPECTED_DIR, _stem(p) + ".json"))
+        _golden_name(_stem(path), model)
+        for path, model in _cases()
+        if not os.path.exists(
+            os.path.join(EXPECTED_DIR, _golden_name(_stem(path), model))
+        )
     ]
     if REGEN:
         pytest.skip("regenerating")
@@ -61,19 +94,25 @@ def test_every_example_has_a_golden():
 
 
 def test_no_orphan_goldens():
-    stems = {_stem(p) for p in EXAMPLES}
+    valid = {
+        _golden_name(_stem(path), model) for path, model in _cases()
+    }
     orphans = [
-        _stem(p)
+        os.path.basename(p)
         for p in glob.glob(os.path.join(EXPECTED_DIR, "*.json"))
-        if _stem(p) not in stems
+        if os.path.basename(p) not in valid
     ]
     assert not orphans, "goldens without example programs: %s" % ", ".join(orphans)
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=_stem)
-def test_analyze_matches_golden(path):
-    golden_path = os.path.join(EXPECTED_DIR, _stem(path) + ".json")
-    payload = _payload(path)
+@pytest.mark.parametrize(
+    "path,model", _cases(), ids=lambda v: v if v in ("sc", "tso", "pso") else _stem(v)
+)
+def test_analyze_matches_golden(path, model):
+    golden_path = os.path.join(
+        EXPECTED_DIR, _golden_name(_stem(path), model)
+    )
+    payload = _payload(path, model)
     if REGEN:
         os.makedirs(EXPECTED_DIR, exist_ok=True)
         with open(golden_path, "w") as fh:
@@ -92,5 +131,5 @@ def test_analyze_matches_golden(path):
 
 
 def test_payload_is_deterministic():
-    path = EXAMPLES[0]
-    assert _payload(path) == _payload(path)
+    path, model = _cases()[0]
+    assert _payload(path, model) == _payload(path, model)

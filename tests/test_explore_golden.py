@@ -1,0 +1,89 @@
+"""Golden-file lint for ``repro explore --json``.
+
+The explore payload is schema-versioned (``EXPLORE_SCHEMA_VERSION``) and
+deterministically ordered (targets sort by code/func/var/description),
+so it can be golden-tested the same way as ``repro analyze --json``.
+Wall-clock fields are the only nondeterminism; they are zeroed before
+comparison.
+
+Goldens live in ``examples/minilang/expected_explore/`` and cover the
+store-buffering litmus pair: the unfenced program yields two
+replay-validated SR401 witnesses under TSO, the fenced one yields no
+targets at all.  Regenerate after an intentional change with::
+
+    REGEN_EXPLORE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_explore_golden.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.explore import ExploreConfig, explore_program
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(ROOT, "examples", "minilang")
+EXPECTED_DIR = os.path.join(EXAMPLES_DIR, "expected_explore")
+
+REGEN = bool(os.environ.get("REGEN_EXPLORE_GOLDENS"))
+
+# (example stem, memory model, predicate-code filter)
+CASES = [
+    ("store_buffer", "tso", ("SR401",)),
+    ("store_buffer_fenced", "tso", ("SR401", "SR402")),
+]
+
+
+def _normalize(payload):
+    """Zero the wall-clock fields; everything else is deterministic."""
+    payload = dict(payload)
+    payload["time_total"] = 0.0
+    payload["targets"] = [
+        dict(t, time_search=0.0) for t in payload["targets"]
+    ]
+    return payload
+
+
+def _payload(stem, model, codes):
+    path = os.path.join(EXAMPLES_DIR, stem + ".ml")
+    with open(path) as fh:
+        source = fh.read()
+    config = ExploreConfig(memory_model=model, max_seeds=16, codes=codes)
+    report = explore_program(
+        source, config=config, name=os.path.relpath(path, ROOT)
+    )
+    return _normalize(report.to_json())
+
+
+@pytest.mark.parametrize("stem,model,codes", CASES, ids=lambda v: str(v))
+def test_explore_matches_golden(stem, model, codes):
+    golden_path = os.path.join(EXPECTED_DIR, "%s.%s.json" % (stem, model))
+    payload = _payload(stem, model, codes)
+    if REGEN:
+        os.makedirs(EXPECTED_DIR, exist_ok=True)
+        with open(golden_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return
+    assert os.path.exists(golden_path), (
+        "missing golden %s (REGEN_EXPLORE_GOLDENS=1 to create)" % golden_path
+    )
+    with open(golden_path) as fh:
+        golden = json.load(fh)
+    assert payload == golden, (
+        "explore output drifted from %s — if intentional, regenerate with "
+        "REGEN_EXPLORE_GOLDENS=1" % golden_path
+    )
+
+
+def test_schema_is_versioned():
+    payload = _payload("store_buffer_fenced", "tso", ("SR401",))
+    assert payload["schema_version"] >= 1
+    assert payload["memory_model"] == "tso"
+    assert "n_targets" in payload and "n_witnesses" in payload
+
+
+def test_payload_is_deterministic():
+    a = _payload("store_buffer", "tso", ("SR401",))
+    b = _payload("store_buffer", "tso", ("SR401",))
+    assert a == b
