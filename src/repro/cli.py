@@ -135,6 +135,7 @@ def cmd_reproduce(args):
         stickiness=args.stickiness,
         flush_prob=args.flush_prob,
         workers=args.workers,
+        portfolio_workers=args.portfolio_workers,
         static_prune=args.static_prune,
         symexec_workers=args.symexec_workers,
     )
@@ -188,6 +189,31 @@ def cmd_reproduce(args):
                 entry.get("iterations", 0),
                 entry.get("conflicts", 0),
                 entry.get("reuse_hits", 0),
+            )
+        )
+    portfolio = detail.get("portfolio")
+    if portfolio:
+        print(
+            "portfolio    : winner %s (%s), %d workers / %d tasks, "
+            "%d cubes (%d solved)"
+            % (
+                portfolio.get("winner") or "-",
+                portfolio.get("winner_kind") or "-",
+                portfolio.get("workers", 0),
+                portfolio.get("tasks", 0),
+                portfolio.get("cubes", 0),
+                portfolio.get("cubes_solved", 0),
+            )
+        )
+        print(
+            "  clauses exported %d / imported %d, rungs resolved %d,"
+            " cancelled %d, respawns %d"
+            % (
+                portfolio.get("clauses_exported", 0),
+                portfolio.get("clauses_imported", 0),
+                portfolio.get("rungs_resolved", 0),
+                portfolio.get("cancelled", 0),
+                portfolio.get("respawns", 0),
             )
         )
     print("context sw.  :", report.context_switches)
@@ -544,10 +570,19 @@ def build_parser():
     p = sub.add_parser("reproduce", help="record, solve and replay a failure")
     _common_run_flags(p)
     p.add_argument(
-        "--solver", default="smt", choices=["smt", "smt-inc", "genval"]
+        "--solver",
+        default="smt",
+        choices=["smt", "smt-inc", "smt-portfolio", "genval"],
     )
     p.add_argument("--max-seeds", type=int, default=500)
     p.add_argument("--workers", type=int, default=0)
+    p.add_argument(
+        "--portfolio-workers",
+        type=int,
+        default=3,
+        help="worker processes for --solver smt-portfolio "
+        "(<= 1 falls back to the sequential incremental loop)",
+    )
     p.add_argument(
         "--static-prune",
         action=argparse.BooleanOptionalAction,
@@ -694,7 +729,9 @@ def build_parser():
     p.add_argument("--entries", nargs="*", help="entry ids (default: all)")
     p.add_argument("--jobs", type=int, default=2)
     p.add_argument(
-        "--solver", default="smt", choices=["smt", "smt-inc", "genval"]
+        "--solver",
+        default="smt",
+        choices=["smt", "smt-inc", "smt-portfolio", "genval"],
     )
     p.add_argument("--timeout", type=float, default=120.0)
     p.add_argument("--max-attempts", type=int, default=3)

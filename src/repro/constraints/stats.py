@@ -75,6 +75,50 @@ class CacheStats:
         }
 
 
+@dataclass
+class PortfolioStats:
+    """Per-run counters of the cube-and-conquer portfolio driver
+    (:mod:`repro.solver.portfolio`).
+
+    ``winner`` names the task whose solution the driver adopted;
+    ``winner_kind`` is its strategy family (``seq``, ``div``, ``cube``,
+    ``genval``).  Clause traffic is counted at the driver (exported =
+    published batches' clauses, imported = clauses accepted into at
+    least one other worker via the relay), cubes by their terminal
+    status.  ``rungs_resolved`` counts context-switch bounds settled by
+    exhaustion proofs or the sequential replica's budget evidence before
+    the verdict was reached; ``cancelled`` is how many still-running
+    tasks the driver killed once the verdict was in.
+    """
+
+    workers: int = 0
+    tasks: int = 0
+    cubes: int = 0
+    cubes_solved: int = 0
+    clauses_exported: int = 0
+    clauses_imported: int = 0
+    rungs_resolved: int = 0
+    cancelled: int = 0
+    respawns: int = 0
+    winner: str = ""
+    winner_kind: str = ""
+
+    def as_dict(self):
+        return {
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "cubes": self.cubes,
+            "cubes_solved": self.cubes_solved,
+            "clauses_exported": self.clauses_exported,
+            "clauses_imported": self.clauses_imported,
+            "rungs_resolved": self.rungs_resolved,
+            "cancelled": self.cancelled,
+            "respawns": self.respawns,
+            "winner": self.winner,
+            "winner_kind": self.winner_kind,
+        }
+
+
 def merge_sat_stats(stat_dicts):
     """Counter-wise sum of counter dicts (SAT or cache counters alike).
 

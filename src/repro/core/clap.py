@@ -51,7 +51,10 @@ class ClapConfig:
     max_steps: int = 2_000_000
     # Solver selection: 'smt' (sequential, Table 1), 'smt-inc' (the
     # incremental bound loop — one SAT instance across the c = 0, 1, 2, …
-    # rounds, minimizing context switches best-effort) or 'genval'
+    # rounds, minimizing context switches best-effort), 'smt-portfolio'
+    # (the cube-and-conquer portfolio racing the incremental loop against
+    # genval rung probes, rf-prefix cube workers and diversified SAT
+    # configurations with learned-clause sharing) or 'genval'
     # (generate-and-validate, Table 3).
     solver: str = "smt"
     # Reproduce the exact observed output: pin the failing thread's read
@@ -63,6 +66,9 @@ class ClapConfig:
     record_candidates: int = 4
     max_cs: int = 4
     workers: int = 0
+    # Worker processes for --solver smt-portfolio; <= 1 degenerates to
+    # the sequential incremental loop (bit-identical to 'smt-inc').
+    portfolio_workers: int = 3
     smt_max_seconds: float | None = None
     genval_max_seconds: float | None = None
     genval_max_schedules_per_round: int = 200_000
@@ -308,6 +314,17 @@ class ClapPipeline:
             return solve_constraints_bounded(
                 system, max_cs=cfg.max_cs, max_seconds=cfg.smt_max_seconds
             )
+        if cfg.solver == "smt-portfolio":
+            # Imported lazily: the portfolio pulls in the service pool,
+            # whose package imports this module.
+            from repro.solver.portfolio import solve_constraints_portfolio
+
+            return solve_constraints_portfolio(
+                system,
+                max_cs=cfg.max_cs,
+                workers=cfg.portfolio_workers,
+                max_seconds=cfg.smt_max_seconds,
+            )
         if cfg.solver == "genval":
             return solve_generate_validate(
                 system,
@@ -427,6 +444,8 @@ class ClapPipeline:
                 report.solver_detail["bound"] = solved.bound
             if getattr(solved, "round_stats", None):
                 report.solver_detail["round_stats"] = solved.round_stats
+            if getattr(solved, "portfolio", None):
+                report.solver_detail["portfolio"] = solved.portfolio
 
         t0 = time.monotonic()
         outcome = self.replay(solved.schedule, recorded.bug)

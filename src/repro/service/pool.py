@@ -15,7 +15,19 @@ knows exactly which job a worker holds and can:
 
 Results come back over one shared queue.  The pool never pickles live
 pipeline state: tasks are plain dicts and the job executor is a
-top-level importable function.
+top-level importable function (or a picklable callable object carrying
+read-only state, like the portfolio's job runner).
+
+Pools created with ``channel=True`` additionally give every worker an
+IPC side channel (:class:`WorkerChannel`): workers ``publish`` payloads
+that the parent relays into every *other* worker's inbox (the portfolio
+solver's learned-clause exchange) and ``send`` payloads the parent hands
+to the caller's ``on_message`` hook (progress events).  The caller may
+react by calling :meth:`WorkerPool.stop_remaining`, which cancels every
+unfinished job — pending jobs are marked ``cancelled`` without ever
+dispatching, and busy workers are killed within one poll interval.
+``WorkerPool.counters`` records respawns, relayed payloads and
+cancellations for the run.
 """
 
 import collections
@@ -25,7 +37,34 @@ import queue
 import time
 
 
-def _worker_main(run_job, task_queue, result_queue):
+class WorkerChannel:
+    """A worker's side of the pool IPC channel.
+
+    ``publish`` fans a payload out to every other worker's inbox (via the
+    parent's relay loop); ``send`` delivers a payload to the parent only;
+    ``poll`` drains this worker's inbox without blocking.
+    """
+
+    def __init__(self, outbox, inbox):
+        self._outbox = outbox
+        self._inbox = inbox
+
+    def publish(self, payload):
+        self._outbox.put(("broadcast", os.getpid(), payload))
+
+    def send(self, payload):
+        self._outbox.put(("message", os.getpid(), payload))
+
+    def poll(self):
+        payloads = []
+        while True:
+            try:
+                payloads.append(self._inbox.get_nowait())
+            except queue.Empty:
+                return payloads
+
+
+def _worker_main(run_job, task_queue, result_queue, outbox=None, inbox=None):
     """Worker loop: take (job_id, spec, attempt), report a result dict.
 
     Exceptions escaping ``run_job`` are reported as ``"error"`` outcomes
@@ -33,13 +72,17 @@ def _worker_main(run_job, task_queue, result_queue):
     crashes and the injected kind) take the silent-death path the parent
     detects via exit codes.
     """
+    channel = WorkerChannel(outbox, inbox) if outbox is not None else None
     while True:
         item = task_queue.get()
         if item is None:
             return
         job_id, spec, attempt = item
         try:
-            result = run_job(spec, attempt)
+            if channel is not None:
+                result = run_job(spec, attempt, channel)
+            else:
+                result = run_job(spec, attempt)
             result_queue.put((job_id, os.getpid(), "ok", result))
         except BaseException as exc:
             result_queue.put(
@@ -50,11 +93,12 @@ def _worker_main(run_job, task_queue, result_queue):
 class _Worker:
     """One worker process plus its private task queue."""
 
-    def __init__(self, ctx, run_job, result_queue):
+    def __init__(self, ctx, run_job, result_queue, outbox=None):
         self.task_queue = ctx.Queue()
+        self.inbox = ctx.Queue() if outbox is not None else None
         self.process = ctx.Process(
             target=_worker_main,
-            args=(run_job, self.task_queue, result_queue),
+            args=(run_job, self.task_queue, result_queue, outbox, self.inbox),
             daemon=True,
         )
         self.process.start()
@@ -92,30 +136,54 @@ class WorkerPool:
     """Run job dicts through ``run_job`` across ``jobs`` worker processes.
 
     ``run_job(spec, attempt) -> result dict`` must be a top-level
-    function.  Per-job policy is read from the spec dict itself:
-    ``timeout`` (seconds), ``max_attempts`` and ``backoff`` (exponential
-    base for retry delays).
+    function or picklable callable.  Per-job policy is read from the
+    spec dict itself: ``timeout`` (seconds), ``max_attempts`` and
+    ``backoff`` (exponential base for retry delays).
+
+    With ``channel=True`` the executor is instead called as
+    ``run_job(spec, attempt, channel)`` where ``channel`` is a
+    :class:`WorkerChannel`; a payload the worker ``publish``es is
+    relayed by the parent into every other worker's inbox, and a
+    payload it ``send``s is handed to ``run(..., on_message=...)``.
     """
 
-    def __init__(self, run_job, jobs=2, poll_interval=0.05):
+    def __init__(self, run_job, jobs=2, poll_interval=0.05, channel=False):
         if jobs < 1:
             raise ValueError("need at least one worker")
         self.run_job = run_job
         self.jobs = jobs
         self.poll_interval = poll_interval
+        self.channel = channel
         self._ctx = multiprocessing.get_context()
+        self._stop = False
+        self.counters = {"respawns": 0, "relayed": 0, "cancelled": 0}
 
-    def run(self, specs, on_outcome=None):
+    def stop_remaining(self):
+        """Cancel every job that has not finished yet.
+
+        Pending jobs are recorded as ``cancelled`` without dispatching;
+        busy workers are killed (and their jobs recorded ``cancelled``)
+        within one poll interval.  Safe to call from ``on_message`` /
+        ``on_outcome`` callbacks.
+        """
+        self._stop = True
+
+    def run(self, specs, on_outcome=None, on_message=None):
         """Execute every spec; returns outcome dicts in spec order.
 
         Each outcome is the executor's result dict plus the pool's own
         bookkeeping: ``attempts``, ``wall_time`` and — for jobs the pool
-        itself terminated — ``status`` of ``timeout`` or ``crashed``.
-        ``on_outcome(index, outcome)`` fires as each job completes.
+        itself terminated — ``status`` of ``timeout``, ``crashed`` or
+        ``cancelled``.  ``on_outcome(index, outcome)`` fires as each job
+        completes; ``on_message(payload)`` fires for every payload a
+        worker ``send``s over the channel.
         """
+        self._stop = False
+        self.counters = {"respawns": 0, "relayed": 0, "cancelled": 0}
         result_queue = self._ctx.Queue()
+        outbox = self._ctx.Queue() if self.channel else None
         workers = [
-            _Worker(self._ctx, self.run_job, result_queue)
+            _Worker(self._ctx, self.run_job, result_queue, outbox)
             for _ in range(min(self.jobs, max(len(specs), 1)))
         ]
         states = {i: _JobState(spec) for i, spec in enumerate(specs)}
@@ -154,12 +222,31 @@ class WorkerPool:
                     },
                 )
 
+        def drain_channel():
+            if outbox is None:
+                return
+            while True:
+                try:
+                    kind, pid, payload = outbox.get_nowait()
+                except queue.Empty:
+                    return
+                if kind == "broadcast":
+                    for worker in workers:
+                        if worker.inbox is None or worker.dead():
+                            continue
+                        if worker.process.pid == pid:
+                            continue
+                        worker.inbox.put(payload)
+                        self.counters["relayed"] += 1
+                elif on_message is not None:
+                    on_message(payload)
+
         try:
             while len(outcomes) < len(specs):
                 now = time.monotonic()
                 # Dispatch ready jobs to idle, live workers.
                 for worker in workers:
-                    if not pending:
+                    if not pending or self._stop:
                         break
                     if worker.job is not None or worker.dead():
                         continue
@@ -199,6 +286,50 @@ class WorkerPool:
                                 job_id, pid, "executor raised: %s" % payload
                             )
 
+                # Relay channel traffic before acting on cancellation so a
+                # winner's result can never race its own stop signal.
+                drain_channel()
+
+                # Cancellation: drop what never started, kill what did.
+                if self._stop:
+                    while pending:
+                        job_id = pending.popleft()
+                        if job_id in outcomes:
+                            continue
+                        state = states[job_id]
+                        if state.first_start is None:
+                            state.first_start = time.monotonic()
+                        finish(
+                            job_id,
+                            {
+                                "entry_id": state.spec.get("entry_id", ""),
+                                "status": "cancelled",
+                                "reason": "pool stopped before dispatch",
+                            },
+                        )
+                        self.counters["cancelled"] += 1
+                    for worker in workers:
+                        if worker.job is None:
+                            continue
+                        job_id, _ = worker.job
+                        pid = worker.process.pid
+                        worker.kill()
+                        worker.job = None
+                        if job_id not in outcomes:
+                            finish(
+                                job_id,
+                                {
+                                    "entry_id": states[job_id].spec.get(
+                                        "entry_id", ""
+                                    ),
+                                    "status": "cancelled",
+                                    "reason": "pool stopped while running",
+                                    "worker_pid": pid,
+                                },
+                            )
+                            self.counters["cancelled"] += 1
+                    continue
+
                 # Kill workers whose job blew its budget; respawn.
                 now = time.monotonic()
                 for i, worker in enumerate(workers):
@@ -209,7 +340,10 @@ class WorkerPool:
                         continue
                     pid = worker.process.pid
                     worker.kill()
-                    workers[i] = _Worker(self._ctx, self.run_job, result_queue)
+                    workers[i] = _Worker(
+                        self._ctx, self.run_job, result_queue, outbox
+                    )
+                    self.counters["respawns"] += 1
                     state = states[job_id]
                     finish(
                         job_id,
@@ -229,7 +363,10 @@ class WorkerPool:
                     job_id, _ = worker.job
                     pid = worker.process.pid
                     code = worker.process.exitcode
-                    workers[i] = _Worker(self._ctx, self.run_job, result_queue)
+                    workers[i] = _Worker(
+                        self._ctx, self.run_job, result_queue, outbox
+                    )
+                    self.counters["respawns"] += 1
                     if job_id not in outcomes:
                         requeue_or_crash(
                             job_id,

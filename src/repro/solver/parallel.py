@@ -17,7 +17,6 @@ and fans the partitions out over a process pool.
 """
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro.runtime.errors import MiniRuntimeError
@@ -41,6 +40,10 @@ class GenerateValidateResult:
     encode_time: float = 0.0
     good_schedules: list = field(default_factory=list)
     reason: str = ""
+    # Parallel mode only: the service pool's bookkeeping for the run —
+    # worker respawns (a probe process died and its probe was retried)
+    # and cancellations (probes killed once a round had its answer).
+    pool_counters: dict = field(default_factory=dict)
 
     def __bool__(self):
         return self.ok
@@ -107,40 +110,55 @@ def _search_round(
     return generated, good, exhausted
 
 
-# Process-pool worker globals: the system is shipped once per worker, and
-# the generator/validator structures are built once per worker and reused
-# by every probe that worker runs.
-_WORKER_SYSTEM = None
-_WORKER_GENERATOR = None
-_WORKER_VALIDATOR = None
+class _GenvalProbeJob:
+    """Picklable probe executor for the service WorkerPool.
 
+    The system ships once per worker process; the generator/validator
+    structures are built lazily in the worker and cached on the
+    (process-local) instance, so every probe a worker runs reuses them.
+    The pool calls this with ``(spec, attempt)``; fault hooks from
+    ``service.faults`` fire first so tests can kill or stall a probe
+    deterministically.
+    """
 
-def _worker_init(system):
-    global _WORKER_SYSTEM, _WORKER_GENERATOR, _WORKER_VALIDATOR
-    _WORKER_SYSTEM = system
-    _WORKER_GENERATOR = ScheduleGenerator(system)
-    _WORKER_VALIDATOR = ScheduleValidator(system)
+    def __init__(self, system, max_schedules, max_steps, max_good):
+        self.system = system
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+        self.max_good = max_good
+        self._gen = None
+        self._val = None
 
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_gen"] = None
+        state["_val"] = None
+        return state
 
-def _worker_task(c, order_seeds, max_schedules, max_steps, max_good):
-    generated = 0
-    good = []
-    exhausted = False
-    for seed in order_seeds:
-        n, g, exhausted = _search_round(
-            _WORKER_GENERATOR,
-            _WORKER_VALIDATOR,
-            c,
-            seed,
-            max_schedules,
-            max_steps,
-            max_good,
+    def __call__(self, spec, attempt):
+        from repro.service.faults import maybe_kill_worker, maybe_slow_solve
+
+        faults = spec.get("faults")
+        maybe_kill_worker(faults, attempt)
+        maybe_slow_solve(faults)
+        if self._gen is None:
+            self._gen = ScheduleGenerator(self.system)
+            self._val = ScheduleValidator(self.system)
+        generated, good, exhausted = _search_round(
+            self._gen,
+            self._val,
+            spec["bound"],
+            spec["seed"],
+            self.max_schedules,
+            self.max_steps,
+            self.max_good,
         )
-        generated += n
-        good.extend(g)
-        if good or exhausted:
-            break
-    return generated, good, exhausted
+        return {
+            "status": "done",
+            "generated": generated,
+            "good": [(list(s), cs) for s, cs in good],
+            "exhausted": exhausted,
+        }
 
 
 def solve_generate_validate(
@@ -152,6 +170,7 @@ def solve_generate_validate(
     max_good=16,
     workers=0,
     max_seconds=None,
+    faults=None,
     # Backwards-compatible aliases used by ClapConfig.
     max_schedules_per_round=None,
     max_steps_per_round=None,
@@ -192,6 +211,12 @@ def solve_generate_validate(
     if max_seconds is not None:
         round_slice = max_seconds / (max_cs + 1)
     total_generated = 0
+    pool_counters = {}
+
+    def fold_counters(counters):
+        for key, value in counters.items():
+            pool_counters[key] = pool_counters.get(key, 0) + value
+
     seeds = [None] + list(range(1, probes_per_round))
     for c in range(max_cs + 1):
         elapsed = time.monotonic() - start
@@ -203,6 +228,7 @@ def solve_generate_validate(
                 solve_time=elapsed,
                 encode_time=encode_time,
                 reason="timeout",
+                pool_counters=pool_counters,
             )
         round_start = time.monotonic()
 
@@ -215,7 +241,7 @@ def solve_generate_validate(
             )
 
         if workers:
-            generated, good = _run_parallel(
+            generated, good, counters = _run_parallel(
                 system,
                 c,
                 seeds,
@@ -223,7 +249,9 @@ def solve_generate_validate(
                 max_steps_per_probe,
                 max_good,
                 workers,
+                faults=faults,
             )
+            fold_counters(counters)
         else:
             generated = 0
             good = []
@@ -262,6 +290,7 @@ def solve_generate_validate(
                 solve_time=time.monotonic() - start,
                 encode_time=encode_time,
                 good_schedules=[s for s, _ in good],
+                pool_counters=pool_counters,
             )
     return GenerateValidateResult(
         False,
@@ -270,28 +299,52 @@ def solve_generate_validate(
         solve_time=time.monotonic() - start,
         encode_time=encode_time,
         reason="no correct schedule within %d context switches" % max_cs,
+        pool_counters=pool_counters,
     )
 
 
 def _run_parallel(
-    system, c, seeds, max_schedules, max_steps, max_good, workers
+    system, c, seeds, max_schedules, max_steps, max_good, workers, faults=None
 ):
-    # One probe seed per task; workers race and the first good result wins.
-    generated = 0
+    """One probe seed per job over the service WorkerPool; the first good
+    (or exhausting) probe cancels the rest of the round.
+
+    Returns ``(generated, good, pool_counters)``.  The old
+    ProcessPoolExecutor version hung the whole round when a worker died
+    mid-probe (``future.result()`` raised BrokenProcessPool and poisoned
+    the executor); the service pool detects the silent death, respawns
+    the worker and retries the probe up to its ``max_attempts``, so an
+    injected ``kill_worker`` fault now costs one retry, not the round.
+    """
+    from repro.service.pool import WorkerPool
+
+    job = _GenvalProbeJob(system, max_schedules, max_steps, max_good)
+    specs = []
+    for seed in seeds:
+        spec = {
+            "entry_id": "probe-%s" % ("det" if seed is None else seed),
+            "bound": c,
+            "seed": seed,
+            "timeout": 120.0,
+            "max_attempts": 3,
+            "backoff": 0.05,
+        }
+        if faults:
+            spec["faults"] = faults
+        specs.append(spec)
+    pool = WorkerPool(job, jobs=workers)
+    generated = [0]
     good = []
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=(system,)
-    ) as pool:
-        futures = [
-            pool.submit(_worker_task, c, [seed], max_schedules, max_steps, max_good)
-            for seed in seeds
-        ]
-        for future in as_completed(futures):
-            batch_generated, batch_good, exhausted = future.result()
-            generated += batch_generated
-            good.extend(batch_good)
-            if good or exhausted:
-                for f in futures:
-                    f.cancel()
-                break
-    return generated, good
+
+    def on_outcome(index, outcome):
+        if outcome.get("status") != "done":
+            return
+        generated[0] += outcome["generated"]
+        good.extend(
+            (schedule, switches) for schedule, switches in outcome["good"]
+        )
+        if outcome["good"] or outcome["exhausted"]:
+            pool.stop_remaining()
+
+    pool.run(specs, on_outcome=on_outcome)
+    return generated[0], good, dict(pool.counters)

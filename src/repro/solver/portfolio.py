@@ -1,0 +1,588 @@
+"""Cube-and-conquer portfolio driver over the incremental CLAP solver.
+
+The sequential bound loop (:func:`repro.solver.smt.solve_constraints_bounded`)
+spends almost all of its time *refuting* low context-switch bounds: each
+round below the true minimum can only be closed by blocking theory-valid
+reads-from combinations one at a time, and on the big Table-1 traces the
+per-round iteration budget runs out long before the space does — the
+reported bound is then best-effort, not minimal.  This module races
+several strategies for the same answer over the service
+:class:`~repro.service.pool.WorkerPool` and keeps whichever evidence
+arrives first:
+
+``seq``
+    A pristine replica of the sequential incremental solver.  It exports
+    learned clauses but **never imports any**, so its round-by-round
+    evidence (found / exhausted / budget-out) is exactly what the
+    sequential path would have produced.  This is the anchor that makes
+    the portfolio's verdict never *worse* than sequential.
+
+``genval``
+    One capped generate-and-validate probe per ladder rung ``c``
+    (Section 4.3's search, exact preemption count).  The bounded DFS is
+    exhaustive at low bounds where the SMT loop can only budget-out:
+    when a probe exhausts rung ``c`` without a find, that is a *proof*
+    that no schedule with ``c`` preemptions exists, and when it finds a
+    validated schedule it often does so orders of magnitude faster than
+    CEGAR refutation (the `aget` trace: seconds instead of half a
+    minute, with a smaller — proven minimal — bound).
+
+``cube``
+    Disjoint prefix cubes over the largest reads-from exactly-one group,
+    using the stable variable numbering from
+    ``encoder.assign_atom_numbering``.  A cube enters the solver as
+    **assumptions only**, never as clauses — learned clauses are derived
+    by resolution from the clause database alone (assumption literals
+    are never resolved out; they appear negated *inside* a learned
+    clause), so everything a cube worker learns is valid for the whole
+    formula and safe to share.  Clauses mentioning a worker's own cube
+    variables are filtered out before export ("cube-guard-free"): inside
+    the cube they are subsumed by the assumption, outside it they are
+    rarely useful, so they are pure traffic.
+
+``div``
+    Diversified full-space workers (VSIDS decay / restart sequence /
+    seeded phase saving).  They import everyone's short clauses and
+    export their own.
+
+Minimality protocol: every find is validated (the winner's context
+switch count comes from the shared :class:`ScheduleValidator`, the same
+metric every path uses).  A rung ``c`` is *resolved* when the portfolio
+holds evidence the sequential loop would also have accepted to move past
+``c``: an exhaustion proof (genval probe, a full-space SMT worker's
+UNSAT round, or *every* cube exhausting the round), or the pristine
+``seq`` replica closing round ``c`` without a find (identical budget
+evidence to sequential).  The driver adopts the best find once every
+rung below it is resolved, then cancels the remaining workers through
+:meth:`WorkerPool.stop_remaining` — losers die within one poll interval.
+With ``workers <= 1`` the driver calls the sequential loop directly and
+is bit-for-bit identical to ``--solver smt-inc``.
+"""
+
+import functools
+import time
+
+from repro.constraints.model import RFChoice
+from repro.constraints.stats import PortfolioStats, merge_sat_stats
+from repro.solver.cdcl import CDCLSolver
+from repro.solver.parallel import _search_round
+from repro.solver.smt import ClapSmtSolver, SmtResult, solve_constraints_bounded
+
+# Capped per-rung generate-and-validate probe budgets.  Small enough to
+# lose quickly when the bounded space is huge, large enough to exhaust
+# the low rungs of every Table-1 trace within a few seconds.
+GENVAL_MAX_SCHEDULES = 2000
+GENVAL_MAX_STEPS = 40000
+GENVAL_MAX_GOOD = 4
+
+# Diversified full-space SAT configurations (the ``div`` tasks).
+DIV_VARIANTS = {
+    1: {"var_decay": 0.85, "restart_base": 64, "phase_seed": 101},
+    2: {"var_decay": 0.99, "restart_base": 256, "phase_seed": 202},
+}
+
+# Clause-exchange policy: short clauses only, every EXCHANGE_EVERY CEGAR
+# iterations.
+SHARE_MAX_LEN = 8
+EXCHANGE_EVERY = 8
+
+# Cube and diversified workers run with a fraction of the sequential
+# round budget: they are opportunistic scouts and clause factories, and
+# on a machine with fewer cores than tasks they must not starve the
+# ``seq`` anchor whose evidence the verdict usually waits on.
+SIDE_BUDGET_DIVISOR = 8
+
+
+def derive_cubes(system, max_cubes=4):
+    """Disjoint, exhaustive assumption cubes from the largest reads-from
+    exactly-one group.
+
+    Each cube asserts one candidate source of the chosen read (the
+    group's pairwise at-most-one clauses make single-literal cubes
+    disjoint; the exactly-one clause makes them exhaustive).  When the
+    group is wider than ``max_cubes``, the tail collapses into one
+    "rest" cube asserting that none of the head candidates fired.
+    Returns a list of assumption-literal lists (possibly empty when the
+    system has no usable group).
+    """
+    numbering = getattr(system, "atom_numbering", None) or {}
+    best = None
+    for group in system.exactly_one:
+        vars_ = []
+        usable = True
+        for lit in group.lits:
+            atom = lit.atom
+            if not isinstance(atom, RFChoice) or not lit.positive:
+                usable = False
+                break
+            var = numbering.get(atom)
+            if var is None:
+                usable = False
+                break
+            vars_.append(var)
+        if usable and len(vars_) >= 2:
+            if best is None or len(vars_) > len(best):
+                best = vars_
+    if not best:
+        return []
+    if len(best) <= max_cubes:
+        return [[v] for v in best]
+    head = best[: max_cubes - 1]
+    cubes = [[v] for v in head]
+    cubes.append([-v for v in head])
+    return cubes
+
+
+def _plan_tasks(system, max_cs, max_cubes=4):
+    """The portfolio's task list, in dispatch priority order.
+
+    ``seq`` first (the long pole starts immediately), then the cheap
+    genval rung probes in ascending bound order, then cubes, then the
+    diversified full-space workers.
+    """
+    tasks = [{"id": "seq", "kind": "seq"}]
+    for c in range(max_cs + 1):
+        tasks.append({"id": "genval-%d" % c, "kind": "genval", "rung": c})
+    for i, cube in enumerate(derive_cubes(system, max_cubes=max_cubes)):
+        tasks.append({"id": "cube-%d" % i, "kind": "cube", "lits": cube})
+    for variant in sorted(DIV_VARIANTS):
+        tasks.append({"id": "div-%d" % variant, "kind": "div", "variant": variant})
+    return tasks
+
+
+def _filter_faults(faults, task_id):
+    """Faults that apply to ``task_id``.
+
+    A fault spec may carry a ``"tasks"`` list restricting which portfolio
+    tasks it fires in (e.g. slow down only ``cube-0``); without it the
+    fault applies everywhere.
+    """
+    if not faults:
+        return None
+    out = {}
+    for name, spec in faults.items():
+        targets = spec.get("tasks") if isinstance(spec, dict) else None
+        if targets is None or task_id in targets:
+            out[name] = spec
+    return out or None
+
+
+class _PortfolioJob:
+    """Picklable per-worker executor for every portfolio task kind.
+
+    Carries the (read-only) constraint system; per-process heavyweight
+    structures (the genval generator/validator) are built lazily after
+    the worker process exists and cached on the instance, which is
+    process-local from that point on.
+    """
+
+    def __init__(
+        self,
+        system,
+        max_cs,
+        max_iterations,
+        max_seconds,
+        round_iterations,
+        genval_schedules=GENVAL_MAX_SCHEDULES,
+        genval_steps=GENVAL_MAX_STEPS,
+        genval_good=GENVAL_MAX_GOOD,
+    ):
+        self.system = system
+        self.max_cs = max_cs
+        self.max_iterations = max_iterations
+        self.max_seconds = max_seconds
+        self.round_iterations = round_iterations
+        self.genval_schedules = genval_schedules
+        self.genval_steps = genval_steps
+        self.genval_good = genval_good
+        self._gen = None
+        self._val = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_gen"] = None
+        state["_val"] = None
+        return state
+
+    def __call__(self, spec, attempt, channel):
+        from repro.service.faults import maybe_kill_worker
+
+        task = spec["task"]
+        faults = spec.get("faults")
+        maybe_kill_worker(faults, attempt)
+        if task["kind"] == "genval":
+            return self._run_genval(task, faults)
+        return self._run_smt(task, channel, faults)
+
+    # -- generate-and-validate rung probe --------------------------------
+
+    def _run_genval(self, task, faults):
+        from repro.service.faults import maybe_slow_solve
+
+        maybe_slow_solve(faults)
+        if self._gen is None:
+            from repro.solver.schedule_gen import ScheduleGenerator
+            from repro.solver.validate import ScheduleValidator
+
+            self._gen = ScheduleGenerator(self.system)
+            self._val = ScheduleValidator(self.system)
+        start = time.monotonic()
+        generated, good, exhausted = _search_round(
+            self._gen,
+            self._val,
+            task["rung"],
+            None,
+            self.genval_schedules,
+            self.genval_steps,
+            self.genval_good,
+        )
+        return {
+            "status": "done",
+            "kind": "genval",
+            "task": task["id"],
+            "rung": task["rung"],
+            "generated": generated,
+            "good": [(list(s), cs) for s, cs in good],
+            "exhausted": exhausted,
+            "wall": time.monotonic() - start,
+        }
+
+    # -- SMT-family tasks (seq / div / cube) ------------------------------
+
+    def _run_smt(self, task, channel, faults):
+        from repro.service.faults import maybe_slow_solve
+
+        kind = task["kind"]
+        if kind == "div":
+            sat_factory = functools.partial(
+                CDCLSolver, **DIV_VARIANTS[task["variant"]]
+            )
+        else:
+            sat_factory = None
+        solver = ClapSmtSolver(self.system, sat_factory=sat_factory)
+        n_atoms = len(getattr(self.system, "atom_numbering", None) or {})
+        cube_lits = list(task.get("lits", ()))
+        cube_vars = [abs(lit) for lit in cube_lits]
+        # The pristine sequential replica must produce exactly the
+        # sequential path's evidence, so it never imports; everyone else
+        # both imports and exports.
+        importing = kind != "seq"
+        round_iterations = self.round_iterations
+        if kind != "seq" and round_iterations is not None:
+            round_iterations = max(64, round_iterations // SIDE_BUDGET_DIVISOR)
+        state = {"cursor": 0, "seen": set(), "exported": 0, "imported": 0,
+                 "ticks": 0}
+
+        def tick(s):
+            state["ticks"] += 1
+            if channel is None or state["ticks"] % EXCHANGE_EVERY != 1:
+                return
+            clauses, state["cursor"] = s.sat.export_learned(
+                state["cursor"],
+                max_len=SHARE_MAX_LEN,
+                max_var=n_atoms,
+                exclude_vars=cube_vars,
+            )
+            fresh = [c for c in clauses if c not in state["seen"]]
+            if fresh:
+                state["seen"].update(fresh)
+                state["exported"] += len(fresh)
+                channel.publish({"task": task["id"], "clauses": fresh})
+            if importing:
+                for payload in channel.poll():
+                    for clause in payload.get("clauses", ()):
+                        key = tuple(clause)
+                        if key in state["seen"]:
+                            continue
+                        state["seen"].add(key)
+                        s.sat.add_clause(list(key))
+                        state["imported"] += 1
+
+        def on_round(entry):
+            if channel is not None:
+                channel.send(
+                    {
+                        "event": "round",
+                        "task": task["id"],
+                        "kind": kind,
+                        "bound": entry["bound"],
+                        "found": entry["found"],
+                        "exhausted": entry["exhausted"],
+                    }
+                )
+
+        maybe_slow_solve(faults)
+        start = time.monotonic()
+        result = solver.solve_bounded(
+            self.max_cs,
+            max_iterations=self.max_iterations,
+            max_seconds=self.max_seconds,
+            round_iterations=round_iterations,
+            assume_lits=cube_lits,
+            tick=tick,
+            on_round=on_round,
+        )
+        return {
+            "status": "done",
+            "kind": kind,
+            "task": task["id"],
+            "ok": result.ok,
+            "reason": result.reason,
+            "schedule": [tuple(uid) for uid in result.schedule],
+            "reads_from": dict(result.reads_from),
+            "env": dict(result.env),
+            "context_switches": result.context_switches,
+            "iterations": result.iterations,
+            "bound": result.bound,
+            "round_stats": list(result.round_stats),
+            "sat_stats": dict(result.sat_stats),
+            "exported": state["exported"],
+            "imported": state["imported"],
+            "wall": time.monotonic() - start,
+        }
+
+
+def solve_constraints_portfolio(
+    system,
+    max_cs=4,
+    workers=3,
+    max_iterations=100000,
+    max_seconds=None,
+    round_iterations=2000,
+    max_cubes=4,
+    faults=None,
+    poll_interval=0.05,
+):
+    """Race the portfolio; returns an :class:`SmtResult` whose
+    ``portfolio`` dict carries the :class:`PortfolioStats` counters.
+
+    ``workers <= 1`` degenerates to the sequential incremental loop —
+    same process, same solver, bit-identical result — which is the
+    determinism anchor the differential tests pin.
+    """
+    start = time.monotonic()
+    if workers <= 1:
+        result = solve_constraints_bounded(
+            system,
+            max_cs=max_cs,
+            incremental=True,
+            max_iterations=max_iterations,
+            max_seconds=max_seconds,
+            round_iterations=round_iterations,
+        )
+        result.portfolio = PortfolioStats(
+            workers=1, tasks=1, winner="seq", winner_kind="seq"
+        ).as_dict()
+        return result
+
+    from repro.service.pool import WorkerPool
+
+    tasks = _plan_tasks(system, max_cs, max_cubes=max_cubes)
+    n_cubes = sum(1 for t in tasks if t["kind"] == "cube")
+    job = _PortfolioJob(
+        system,
+        max_cs=max_cs,
+        max_iterations=max_iterations,
+        max_seconds=max_seconds,
+        round_iterations=round_iterations,
+    )
+    task_timeout = (max_seconds or 600.0) + 30.0
+    specs = []
+    for task in tasks:
+        spec = {
+            "entry_id": task["id"],
+            "task": task,
+            "timeout": task_timeout,
+            "max_attempts": 2,
+            "backoff": 0.05,
+        }
+        task_faults = _filter_faults(faults, task["id"])
+        if task_faults:
+            spec["faults"] = task_faults
+        specs.append(spec)
+
+    pool = WorkerPool(
+        job, jobs=workers, poll_interval=poll_interval, channel=True
+    )
+
+    # Verdict state.  ``resolved`` holds rungs settled without an
+    # acceptable find; ``proven`` the subset settled by exhaustion proof
+    # rather than the sequential replica's budget evidence.
+    best = {}
+    resolved = set()
+    proven = set()
+    cube_exhausted = {}  # bound -> set of cube task ids
+
+    def note_no_find(bound, by_proof):
+        resolved.add(bound)
+        if by_proof:
+            proven.add(bound)
+
+    def note_find(cs, task_id, kind, schedule, reads_from, env):
+        if not best or cs < best["cs"]:
+            best.update(
+                cs=cs,
+                task=task_id,
+                kind=kind,
+                schedule=[tuple(uid) for uid in schedule],
+                reads_from=dict(reads_from),
+                env=dict(env),
+            )
+
+    def maybe_finish():
+        if best and all(c in resolved for c in range(best["cs"])):
+            pool.stop_remaining()
+
+    def on_message(payload):
+        if payload.get("event") != "round":
+            return
+        kind = payload["kind"]
+        bound = payload["bound"]
+        if payload["found"]:
+            return  # the schedule arrives with the worker's outcome
+        if kind == "seq":
+            note_no_find(bound, by_proof=payload["exhausted"])
+        elif kind == "div" and payload["exhausted"]:
+            note_no_find(bound, by_proof=True)
+        elif kind == "cube" and payload["exhausted"]:
+            done = cube_exhausted.setdefault(bound, set())
+            done.add(payload["task"])
+            if len(done) == n_cubes:
+                note_no_find(bound, by_proof=True)
+        maybe_finish()
+
+    results = {}
+
+    def on_outcome(index, outcome):
+        task = tasks[index]
+        results[task["id"]] = outcome
+        if outcome.get("status") != "done":
+            return
+        kind = outcome["kind"]
+        if kind == "genval":
+            for schedule, cs in outcome["good"]:
+                note_find(cs, task["id"], kind, schedule, {}, {})
+            if not outcome["good"] and outcome["exhausted"]:
+                note_no_find(outcome["rung"], by_proof=True)
+        else:
+            if outcome["ok"]:
+                note_find(
+                    outcome["context_switches"],
+                    task["id"],
+                    kind,
+                    outcome["schedule"],
+                    outcome["reads_from"],
+                    outcome["env"],
+                )
+            else:
+                # Re-derive rung evidence from the final round stats in
+                # case a round event was lost with a dying worker.
+                for entry in outcome["round_stats"]:
+                    on_message(
+                        {
+                            "event": "round",
+                            "task": task["id"],
+                            "kind": kind,
+                            "bound": entry["bound"],
+                            "found": entry["found"],
+                            "exhausted": entry["exhausted"],
+                        }
+                    )
+        maybe_finish()
+
+    pool.run(specs, on_outcome=on_outcome, on_message=on_message)
+
+    wall = time.monotonic() - start
+    smt_payloads = [
+        r
+        for r in results.values()
+        if r.get("status") == "done" and r.get("kind") != "genval"
+    ]
+    iterations = sum(p.get("iterations", 0) for p in smt_payloads)
+    sat_stats = merge_sat_stats([p.get("sat_stats") for p in smt_payloads])
+
+    stats = PortfolioStats(
+        workers=min(workers, len(specs)),
+        tasks=len(tasks),
+        cubes=n_cubes,
+        cubes_solved=sum(
+            1
+            for t in tasks
+            if t["kind"] == "cube"
+            and results.get(t["id"], {}).get("status") == "done"
+        ),
+        clauses_exported=sum(p.get("exported", 0) for p in smt_payloads),
+        clauses_imported=sum(p.get("imported", 0) for p in smt_payloads),
+        rungs_resolved=len(resolved),
+        cancelled=pool.counters["cancelled"],
+        respawns=pool.counters["respawns"],
+        winner=best.get("task", ""),
+        winner_kind=best.get("kind", ""),
+    )
+
+    if best:
+        seq_payload = results.get("seq", {})
+        if best["task"] == "seq" and seq_payload.get("status") == "done":
+            round_stats = list(seq_payload["round_stats"])
+        else:
+            # Synthesize the ladder the verdict actually rests on: every
+            # rung below the winner closed without a find (``exhausted``
+            # records whether that closure was a proof), the winner's
+            # rung closed with the find.
+            round_stats = [
+                {
+                    "bound": c,
+                    "wall": 0.0,
+                    "iterations": 0,
+                    "found": False,
+                    "exhausted": c in proven,
+                    "synthesized": True,
+                }
+                for c in range(best["cs"])
+            ]
+            round_stats.append(
+                {
+                    "bound": best["cs"],
+                    "wall": wall,
+                    "iterations": iterations,
+                    "found": True,
+                    "exhausted": False,
+                    "synthesized": True,
+                }
+            )
+        result = SmtResult(
+            True,
+            schedule=[tuple(uid) for uid in best["schedule"]],
+            reads_from=best["reads_from"],
+            env=best["env"],
+            context_switches=best["cs"],
+            iterations=iterations,
+            solve_time=wall,
+            bound=best["cs"],
+            round_stats=round_stats,
+            sat_stats=sat_stats,
+        )
+        result.portfolio = stats.as_dict()
+        return result
+
+    seq_payload = results.get("seq", {})
+    if seq_payload.get("status") == "done":
+        result = SmtResult(
+            False,
+            reason=seq_payload["reason"],
+            iterations=iterations,
+            solve_time=wall,
+            round_stats=list(seq_payload["round_stats"]),
+            sat_stats=sat_stats,
+        )
+    else:
+        result = SmtResult(
+            False,
+            reason="portfolio found no schedule within %d context switches"
+            % max_cs,
+            iterations=iterations,
+            solve_time=wall,
+            sat_stats=sat_stats,
+        )
+    result.portfolio = stats.as_dict()
+    return result

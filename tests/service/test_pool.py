@@ -113,3 +113,92 @@ def test_more_jobs_than_workers():
     assert all(o["status"] == "reproduced" for o in outcomes)
     pids = {o["worker_pid"] for o in outcomes}
     assert 1 <= len(pids) <= 2
+
+
+# -- channel mode ---------------------------------------------------------
+
+
+def _job_channel_echo(spec, attempt, channel):
+    """Publish a payload, then wait briefly for relays from peers."""
+    channel.publish({"from": spec["entry_id"]})
+    deadline = time.monotonic() + float(spec.get("listen", 1.5))
+    received = []
+    while time.monotonic() < deadline:
+        received.extend(channel.poll())
+        if len(received) >= spec.get("expect", 0):
+            break
+        time.sleep(0.02)
+    return {
+        "entry_id": spec["entry_id"],
+        "status": "reproduced",
+        "received": sorted(p["from"] for p in received),
+        "worker_pid": os.getpid(),
+    }
+
+
+def _job_send_event(spec, attempt, channel):
+    channel.send({"event": "progress", "entry_id": spec["entry_id"]})
+    if spec.get("linger"):
+        time.sleep(float(spec["linger"]))
+    return {"entry_id": spec["entry_id"], "status": "reproduced"}
+
+
+def test_channel_broadcast_relayed_to_other_workers():
+    pool = WorkerPool(_job_channel_echo, jobs=2, channel=True)
+    outcomes = pool.run([spec("a", expect=1), spec("b", expect=1)])
+    a, b = outcomes
+    # Each worker's publish landed in the *other* worker's inbox, never
+    # its own.
+    assert a["received"] == ["b"]
+    assert b["received"] == ["a"]
+    assert pool.counters["relayed"] == 2
+
+
+def test_channel_send_reaches_on_message():
+    events = []
+    pool = WorkerPool(_job_send_event, jobs=2, channel=True)
+    outcomes = pool.run(
+        [spec("x"), spec("y")], on_message=events.append
+    )
+    assert all(o["status"] == "reproduced" for o in outcomes)
+    assert sorted(e["entry_id"] for e in events) == ["x", "y"]
+    assert all(e["event"] == "progress" for e in events)
+
+
+def test_stop_remaining_cancels_pending_and_running():
+    stopped = []
+
+    def on_message(payload):
+        # First progress event wins; everything else must be cancelled.
+        if not stopped:
+            stopped.append(payload["entry_id"])
+            pool.stop_remaining()
+
+    pool = WorkerPool(_job_send_event, jobs=2, channel=True)
+    t0 = time.monotonic()
+    outcomes = pool.run(
+        [
+            spec("slow-1", linger=30.0, timeout=60.0),
+            spec("slow-2", linger=30.0, timeout=60.0),
+            spec("never-started-1", linger=30.0, timeout=60.0),
+            spec("never-started-2", linger=30.0, timeout=60.0),
+        ],
+        on_message=on_message,
+    )
+    elapsed = time.monotonic() - t0
+    # Nothing waited for a 30s linger: cancellation killed the running
+    # workers within the poll interval and dropped the queue.
+    assert elapsed < 10
+    statuses = [o["status"] for o in outcomes]
+    assert statuses.count("cancelled") == 4
+    assert pool.counters["cancelled"] == 4
+    assert all(
+        "stopped" in o["reason"] for o in outcomes if o["status"] == "cancelled"
+    )
+
+
+def test_counters_track_respawns():
+    pool = WorkerPool(_job_crash_then_ok, jobs=1)
+    outcomes = pool.run([spec("flaky", ok_on_attempt=2)])
+    assert outcomes[0]["status"] == "reproduced"
+    assert pool.counters["respawns"] == 1

@@ -150,6 +150,103 @@ def test_fuzz_incremental_prefixes_against_reference(batch):
         assert (incremental.solve() == SAT) == expected, (n, added)
 
 
+# -- cube-and-conquer clause sharing --------------------------------------
+#
+# The portfolio splits the search space into prefix cubes (assignments to
+# the first k variables, entered as *assumptions*) and shares short
+# learned clauses between cube solvers.  The soundness claim under test:
+# a clause learned while solving under cube assumptions is valid for the
+# whole formula, so importing it into a solver working a *different* cube
+# can never flip a SAT answer to UNSAT or vice versa.  ~500 fuzzed
+# formulas at ≤ 14 variables, checked against the truth-table oracle.
+
+CUBE_MAX_VARS = 14
+
+
+def random_cube_cnf(rng):
+    n = rng.randint(3, CUBE_MAX_VARS)
+    n_clauses = rng.randint(2, max(3, int(n * rng.uniform(1.5, 4.5))))
+    clauses = []
+    for _ in range(n_clauses):
+        width = rng.randint(1, min(3, n))
+        clauses.append(
+            [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, n + 1), width)
+            ]
+        )
+    return n, clauses
+
+
+def prefix_cubes(n, rng):
+    """All sign assignments over the first k variables: disjoint and
+    exhaustive by construction."""
+    k = rng.randint(1, min(3, n))
+    cubes = [[]]
+    for v in range(1, k + 1):
+        cubes = [cube + [sign * v] for cube in cubes for sign in (1, -1)]
+    return cubes
+
+
+# 25 × 20 = 500 fuzzed formulas.
+@pytest.mark.parametrize("batch", range(25))
+def test_fuzz_cube_solving_with_shared_clauses(batch):
+    rng = random.Random(51000 + batch)
+    for _ in range(20):
+        n, clauses = random_cube_cnf(rng)
+        cubes = prefix_cubes(n, rng)
+        solvers = []
+        for _ in cubes:
+            solver = CDCLSolver()
+            solver.ensure_var(n)
+            for clause in clauses:
+                solver.add_clause(clause)
+            solvers.append(solver)
+        shared = set()
+        cursors = [0] * len(cubes)
+        verdicts = [None] * len(cubes)
+        # Two passes: the second pass re-solves with everything every
+        # *other* cube learned in the first imported, which is where an
+        # unsound exchange would flip an answer.
+        for round_ in range(2):
+            for i, (cube, solver) in enumerate(zip(cubes, solvers)):
+                if round_:
+                    for clause in shared:
+                        solver.add_clause(list(clause))
+                status = solver.solve(assumptions=cube)
+                expected = oracle_sat(n, clauses, cube)
+                assert status == (SAT if expected else UNSAT), (
+                    n,
+                    clauses,
+                    cube,
+                    round_,
+                )
+                if status == SAT:
+                    model = solver.model()
+                    assert model_satisfies(model, clauses)
+                    for lit in cube:
+                        assert model.get(abs(lit)) == (lit > 0)
+                verdicts[i] = status
+                exported, cursors[i] = solver.export_learned(
+                    cursors[i],
+                    max_len=8,
+                    max_var=n,
+                    exclude_vars=[abs(l) for l in cube],
+                )
+                for clause in exported:
+                    # Every shared clause must itself be implied by the
+                    # formula: formula ∧ ¬clause is UNSAT on the oracle.
+                    negation = [-l for l in clause]
+                    assert not oracle_sat(n, clauses, negation), (
+                        "exported clause not implied",
+                        clause,
+                        clauses,
+                    )
+                    shared.add(clause)
+        # Cube partition agreement: the formula is SAT iff some cube is.
+        assert (SAT in verdicts) == oracle_sat(n, clauses), (n, clauses)
+
+
 def test_learned_clause_reuse_is_visible_in_stats():
     # A pigeonhole-flavored instance forces conflicts; re-solving under
     # fresh assumptions must reuse previously learned clauses and count
