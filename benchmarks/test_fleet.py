@@ -1,0 +1,297 @@
+"""Fleet-scale dedup benchmark over the paper's Table-1 suite.
+
+The production scenario: every Table-1 failure arrives at the ingestion
+gateway several times over — the same crash from many machines — plus
+*perturbed* copies (same program, genuinely different whole-path
+profile, found by scanning other failing seeds).  Everything flows
+through the real asyncio TCP gateway into a sharded fleet, the
+dispatcher drains the solve queue through the worker pool against the
+shared analysis cache, and each solved schedule fans out to its cluster
+members with a replay check.
+
+Gates (the acceptance bars for the fleet layer):
+
+* **dedup ratio >= 2x** — reports ingested per constraint solve actually
+  run;
+* **zero wrong-cluster merges** — every duplicate joins its original's
+  cluster, every perturbed copy gets its own, and every fanned-out
+  member's replay reproduces its recorded failure;
+* the **shared cache** serves a re-verification sweep entirely from
+  hits.
+
+Rendered summary lands in ``results/fleet_bench.txt``; machine-readable
+metrics (dedup ratio, cache hit/miss/eviction counters, per-shard
+rollups) in ``results/BENCH_fleet.json`` for the CI artifact upload.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.bench.programs import TABLE1_NAMES, get_benchmark
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.fleet import (
+    FleetDispatcher,
+    IngestGateway,
+    ShardedCorpus,
+    report_from_recorded,
+    request,
+)
+from repro.fleet.cluster import profile_digests
+from repro.service.batch import format_batch_table, run_repro_job
+from repro.service.jobs import JobSpec
+
+from conftest import emit
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+DUPLICATES_PER_REPORT = 3  # original + 2 byte-identical re-reports
+PERTURBED_TARGET = 2  # distinct-profile copies to hunt for
+PERTURBED_SEED_BUDGET = 120  # max seeds scanned per program
+
+
+def _record(bench):
+    config = ClapConfig(**bench.config_kwargs())
+    pipeline = ClapPipeline(bench.compile(), config)
+    recorded = pipeline.record()
+    return pipeline, config, recorded
+
+
+def _perturbed_copy(pipeline, base_recorded):
+    """A failing recording with a different whole-path profile, or None.
+
+    Candidates are vetted with a local ``reproduce_offline`` first: the
+    benchmark measures the *fleet's* dedup/fan-out behaviour, so it only
+    feeds it traces the underlying pipeline can solve (e.g. bbuf's
+    seed-0 trace solves to a schedule that does not replay — a baseline
+    limitation, not a fleet one).
+    """
+    base = profile_digests(base_recorded.recorder.logs)
+    for seed in range(PERTURBED_SEED_BUDGET):
+        if seed == base_recorded.seed:
+            continue
+        recorded = pipeline.record_once(seed)
+        if recorded.bug is None:
+            continue
+        if profile_digests(recorded.recorder.logs) == base:
+            continue
+        try:
+            if pipeline.reproduce_offline(recorded).reproduced:
+                return recorded
+        except Exception:
+            continue
+    return None
+
+
+class _GatewayThread:
+    def __init__(self, gateway):
+        self.gateway = gateway
+        self.drained = None
+        ready = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, args=(ready,), daemon=True
+        )
+        self.thread.start()
+        assert ready.wait(30), "gateway did not start"
+        self.address = gateway.address
+
+    def _run(self, ready):
+        self.drained = asyncio.run(self.gateway.serve(ready=ready))
+
+    def shutdown(self):
+        request(self.address, {"op": "shutdown"}, timeout=1800.0)
+        self.thread.join(timeout=1800)
+        assert not self.thread.is_alive(), "gateway drain did not finish"
+        return self.drained
+
+
+def test_fleet_dedup_over_table1(tmp_path_factory):
+    fleet_root = str(tmp_path_factory.mktemp("fleet"))
+    fleet = ShardedCorpus.create(fleet_root, shards=4)
+    dispatcher = FleetDispatcher(fleet, jobs=2, timeout=600.0)
+    gateway = IngestGateway(fleet, dispatcher=dispatcher)
+    server = _GatewayThread(gateway)
+
+    t0 = time.monotonic()
+    expected = {}  # report index -> (program, base cluster sig or None)
+    outcomes = []
+    perturbed_found = 0
+    base_cluster = {}  # program -> its original report's cluster signature
+    perturbed_cluster = {}  # program -> the perturbed copy's signature
+
+    for name in TABLE1_NAMES:
+        bench = get_benchmark(name)
+        pipeline, config, recorded = _record(bench)
+        report = report_from_recorded(bench.source, name, config, recorded)
+        for copy in range(DUPLICATES_PER_REPORT):
+            outcome = request(
+                server.address, {"op": "ingest", "report": report},
+                timeout=600.0,
+            )
+            outcomes.append(outcome)
+            if copy == 0:
+                base_cluster[name] = outcome["cluster"]
+                expected[len(outcomes) - 1] = (name, None)
+            else:
+                expected[len(outcomes) - 1] = (name, base_cluster[name])
+        if perturbed_found < PERTURBED_TARGET:
+            twisted = _perturbed_copy(pipeline, recorded)
+            if twisted is not None:
+                perturbed_found += 1
+                report = report_from_recorded(
+                    bench.source, name, config, twisted
+                )
+                outcome = request(
+                    server.address, {"op": "ingest", "report": report},
+                    timeout=600.0,
+                )
+                outcomes.append(outcome)
+                perturbed_cluster[name] = outcome["cluster"]
+                expected[len(outcomes) - 1] = (name, "NEW")
+    ingest_wall = time.monotonic() - t0
+
+    # -- ingest-side invariants -----------------------------------------
+    assert all(o["status"] in ("enqueued", "deduped") for o in outcomes)
+    wrong_merges = 0
+    for i, outcome in enumerate(outcomes):
+        name, want = expected[i]
+        if want is None:  # first sighting: must open a cluster
+            if outcome["status"] != "enqueued":
+                wrong_merges += 1
+        elif want == "NEW":  # perturbed: must NOT join the base cluster
+            if outcome["cluster"] == base_cluster[name]:
+                wrong_merges += 1
+        else:  # duplicate: must join exactly its original's cluster
+            if outcome["status"] != "deduped" or outcome["cluster"] != want:
+                wrong_merges += 1
+    assert wrong_merges == 0
+    assert perturbed_found >= 1, "no benchmark yielded a second profile"
+
+    n_reports = len(outcomes)
+    n_clusters = len(TABLE1_NAMES) + perturbed_found
+    dedup_ratio = n_reports / n_clusters
+    assert dedup_ratio >= 2.0, "dedup ratio %.2f below the 2x gate" % (
+        dedup_ratio
+    )
+
+    # -- drain: one solve per cluster, fan-out replays every member ------
+    t0 = time.monotonic()
+    results, aggregate = server.shutdown()
+    drain_wall = time.monotonic() - t0
+    assert len(results) == n_reports
+    failed = [
+        "%s: %s (%s)" % (r.entry_id, r.status, r.reason)
+        for r in results
+        if not r.ok
+    ]
+    assert not failed, failed
+    solves_run = sum(1 for r in results if not r.deduped)
+    assert solves_run == n_clusters
+    assert aggregate["deduped"] == n_reports - n_clusters
+    registry_stats = fleet.registry().stats()
+    assert registry_stats["solved"] == n_clusters
+    assert registry_stats["members_validated"] == n_reports
+
+    # -- shared-cache re-verification sweep: all hits --------------------
+    cache_root = fleet.shared_cache().root
+    sweep_cache = {"hits": 0, "misses": 0}
+    t0 = time.monotonic()
+    for record in (fleet.registry().get(s) for s in fleet.registry().signatures()):
+        rep = record["representative"]
+        out = run_repro_job(
+            JobSpec(
+                corpus_root=fleet.shard_root(rep["shard"]),
+                entry_id=rep["entry_id"],
+                timeout=600.0,
+                shard=rep["shard"],
+                cluster=record["signature"],
+                cache_root=cache_root,
+                cache_max_bytes=fleet.config["cache_max_bytes"],
+            ).to_dict()
+        )
+        assert out["status"] == "reproduced", out
+        assert out["cache"]["state"] == "hit", out["cache"]
+        sweep_cache["hits"] += out["cache"].get("hits", 0)
+        sweep_cache["misses"] += out["cache"].get("misses", 0)
+    sweep_wall = time.monotonic() - t0
+    assert sweep_cache["misses"] == 0
+    assert sweep_cache["hits"] == n_clusters
+
+    drain_cache = aggregate.get("cache", {})
+    total_lookups = (
+        drain_cache.get("hits", 0)
+        + sweep_cache["hits"]
+        + drain_cache.get("misses", 0)
+        + sweep_cache["misses"]
+    )
+    hit_rate = (
+        (drain_cache.get("hits", 0) + sweep_cache["hits"]) / total_lookups
+        if total_lookups
+        else 0.0
+    )
+
+    # -- report -----------------------------------------------------------
+    table = format_batch_table(results, aggregate)
+    summary = [
+        "fleet ingest/dedup over Table 1 (through the TCP gateway)",
+        "",
+        "reports ingested:   %d (%d programs x %d copies + %d perturbed)"
+        % (
+            n_reports,
+            len(TABLE1_NAMES),
+            DUPLICATES_PER_REPORT,
+            perturbed_found,
+        ),
+        "clusters / solves:  %d" % n_clusters,
+        "dedup ratio:        %.2fx (gate: >= 2x)" % dedup_ratio,
+        "wrong merges:       %d (gate: 0)" % wrong_merges,
+        "fan-out validated:  %d/%d members"
+        % (registry_stats["members_validated"], registry_stats["members"]),
+        "shared-cache sweep: %d hits, %d misses (hit rate %.2f overall)"
+        % (sweep_cache["hits"], sweep_cache["misses"], hit_rate),
+        "wall: ingest %.1fs, drain %.1fs, sweep %.1fs"
+        % (ingest_wall, drain_wall, sweep_wall),
+        "",
+        table,
+    ]
+    emit("fleet_bench.txt", "\n".join(summary))
+
+    payload = {
+        "programs": list(TABLE1_NAMES),
+        "reports": n_reports,
+        "duplicates_per_report": DUPLICATES_PER_REPORT,
+        "perturbed_copies": perturbed_found,
+        "perturbed_programs": sorted(perturbed_cluster),
+        "clusters": n_clusters,
+        "solves_run": solves_run,
+        "solves_avoided": n_reports - n_clusters,
+        "dedup_ratio": round(dedup_ratio, 4),
+        "wrong_merges": wrong_merges,
+        "members_validated": registry_stats["members_validated"],
+        "cache": {
+            "drain": {
+                key: drain_cache.get(key, 0)
+                for key in ("hits", "misses", "stale", "evictions")
+            },
+            "sweep": sweep_cache,
+            "hit_rate": round(hit_rate, 4),
+            "usage": fleet.shared_cache().usage(),
+        },
+        "shards": fleet.stats()["shards"],
+        "by_shard": aggregate.get("by_shard", {}),
+        "wall": {
+            "ingest": round(ingest_wall, 3),
+            "drain": round(drain_wall, 3),
+            "sweep": round(sweep_wall, 3),
+        },
+        "gateway": dict(gateway.counters),
+    }
+    results_dir = os.path.join(ROOT, "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_fleet.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print("[saved to %s]" % path)

@@ -432,11 +432,38 @@ def cmd_corpus_add(args):
     return 0
 
 
+def _entry_row(entry, shard=None):
+    """One machine-readable listing row for ``corpus ls --json``."""
+    manifest = entry.manifest
+    stats = manifest.get("stats", {})
+    fleet_info = manifest.get("fleet") or {}
+    row = {
+        "entry_id": entry.entry_id,
+        "program": manifest["program"]["name"],
+        "sha256": manifest["program"]["sha256"],
+        "memory_model": manifest["record"].get("memory_model", "sc"),
+        "seed": manifest["record"].get("seed", -1),
+        "threads": len(stats.get("thread_names", [])),
+        "saps": stats.get("n_saps", 0),
+        "log_bytes": stats.get("log_bytes", 0),
+        "bug": dict(manifest.get("bug", {})),
+        "recovered": bool(manifest.get("recovered")),
+        "provenance": manifest.get("provenance") or {},
+        "shard": fleet_info.get("shard", shard if shard is not None else -1),
+        "cluster": fleet_info.get("cluster", ""),
+        "fingerprint": fleet_info.get("fingerprint", ""),
+    }
+    return row
+
+
 def cmd_corpus_ls(args):
     from repro.store import Corpus
 
     corpus = Corpus.open(args.corpus)
     entries = corpus.entries()
+    if getattr(args, "json", False):
+        print(json.dumps([_entry_row(e) for e in entries], indent=2))
+        return 0
     if not entries:
         print("(empty corpus)")
         return 0
@@ -540,6 +567,249 @@ def cmd_batch(args):
     )
     print(format_batch_table(results, aggregate))
     return 0 if aggregate["reproduced"] == aggregate["jobs"] else 1
+
+
+def _open_fleet(args):
+    from repro.fleet import ShardedCorpus
+
+    return ShardedCorpus.open(args.fleet)
+
+
+def cmd_fleet_init(args):
+    from repro.fleet import ShardedCorpus
+
+    fleet = ShardedCorpus.create(
+        args.fleet, shards=args.shards, cache_max_bytes=args.cache_max_bytes
+    )
+    print(
+        "initialized fleet %s: %d shards, cache budget %dB"
+        % (args.fleet, fleet.n_shards, fleet.config["cache_max_bytes"])
+    )
+    return 0
+
+
+def cmd_fleet_add(args):
+    from repro.core.clap import ClapConfig
+
+    fleet = _open_fleet(args)
+    with open(args.program) as fh:
+        source = fh.read()
+    name = args.name or args.program.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    config = ClapConfig(
+        memory_model=args.memory_model,
+        seeds=range(args.max_seeds),
+        stickiness=args.stickiness,
+        flush_prob=args.flush_prob,
+    )
+    outcome = fleet.add(source, name=name, config=config)
+    print(
+        "%s shard=%d entry=%s cluster=%s"
+        % (
+            outcome["status"],
+            outcome["shard"],
+            outcome["entry_id"],
+            outcome["cluster"][:12],
+        )
+    )
+    return 0
+
+
+def cmd_fleet_ls(args):
+    fleet = _open_fleet(args)
+    rows = [
+        _entry_row(entry, shard=shard) for shard, entry in fleet.entries()
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print("(empty fleet)")
+        return 0
+    for row in rows:
+        print(
+            "s%02d %-32s %-10s %-4s cluster=%s %s"
+            % (
+                row["shard"],
+                row["entry_id"],
+                row["program"],
+                row["memory_model"],
+                row["cluster"][:12] or "-",
+                row["bug"].get("message", ""),
+            )
+        )
+    return 0
+
+
+def cmd_fleet_stats(args):
+    fleet = _open_fleet(args)
+    stats = fleet.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    for shard in stats["shards"]:
+        print(
+            "shard %02d: %d entries, %d clusters, %d programs, %dB traces"
+            % (
+                shard["shard"],
+                shard["entries"],
+                shard["clusters"],
+                shard["programs"],
+                shard["trace_bytes"],
+            )
+        )
+    clusters = stats["clusters"]
+    print(
+        "clusters: %d (%d members, %d solves avoided, %d solved, "
+        "%d pending, %d failed)"
+        % (
+            clusters["clusters"],
+            clusters["members"],
+            clusters["solves_avoided"],
+            clusters["solved"],
+            clusters["pending"],
+            clusters["failed"],
+        )
+    )
+    print("queue: %s" % ", ".join(
+        "%d %s" % (count, state)
+        for state, count in sorted(stats["queue"].items())
+    ))
+    cache = stats["cache"]
+    budget = cache.get("max_bytes")
+    print(
+        "shared cache: %d entries, %dB%s"
+        % (
+            cache["entries"],
+            cache["bytes"],
+            " of %dB budget" % budget if budget else "",
+        )
+    )
+    return 0
+
+
+def cmd_fleet_rebalance(args):
+    fleet = _open_fleet(args)
+    summary = fleet.rebalance(shards=args.shards)
+    print(
+        "rebalanced to %d shards: %d of %d entries moved"
+        % (summary["shards"], summary["moved"], summary["entries"])
+    )
+    return 0
+
+
+def cmd_fleet_export(args):
+    from repro.fleet import report_from_entry
+
+    fleet = _open_fleet(args)
+    for shard, entry in fleet.entries():
+        if entry.entry_id == args.entry:
+            report = report_from_entry(entry)
+            text = json.dumps(report, indent=2, sort_keys=True)
+            if args.out:
+                with open(args.out, "w") as fh:
+                    fh.write(text + "\n")
+            else:
+                print(text)
+            return 0
+    print("no fleet entry %s" % args.entry, file=sys.stderr)
+    return 1
+
+
+def cmd_fleet_ingest(args):
+    from repro.fleet import IngestGateway, request
+
+    reports = []
+    for path in args.reports:
+        with open(path) as fh:
+            reports.append((path, json.load(fh)))
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+        outcomes = [
+            request(address, {"op": "ingest", "report": report})
+            for _path, report in reports
+        ]
+    else:
+        gateway = IngestGateway(
+            _open_fleet(args), max_queue_depth=args.max_queue_depth
+        )
+        outcomes = [gateway.ingest(report) for _path, report in reports]
+    bad = 0
+    for (path, _report), outcome in zip(reports, outcomes):
+        status = outcome.get("status", "?")
+        if status in ("invalid", "rejected"):
+            bad += 1
+            print("%s: %s (%s)" % (path, status, outcome.get("reason", "")))
+        else:
+            print(
+                "%s: %s shard=%s cluster=%s"
+                % (
+                    path,
+                    status,
+                    outcome.get("shard"),
+                    (outcome.get("cluster") or "")[:12],
+                )
+            )
+    return 1 if bad else 0
+
+
+def cmd_fleet_serve(args):
+    import asyncio
+
+    from repro.fleet import FleetDispatcher, IngestGateway
+    from repro.service import format_batch_table
+
+    fleet = _open_fleet(args)
+    dispatcher = FleetDispatcher(
+        fleet,
+        jobs=args.jobs,
+        per_shard_limit=args.per_shard,
+        solver=args.solver,
+        timeout=args.timeout,
+    )
+    gateway = IngestGateway(
+        fleet, max_queue_depth=args.max_queue_depth, dispatcher=dispatcher
+    )
+
+    class _Ready:
+        def set(self):
+            print(
+                "listening on %s:%d" % gateway.address, file=sys.stderr
+            )
+
+    results, aggregate = asyncio.run(
+        gateway.serve(host=args.host, port=args.port, ready=_Ready())
+    ) or (None, None)
+    if results is not None:
+        print(format_batch_table(results, aggregate))
+    return 0
+
+
+def cmd_fleet_drain(args):
+    from repro.fleet import FleetDispatcher
+    from repro.service import format_batch_table
+
+    fleet = _open_fleet(args)
+    dispatcher = FleetDispatcher(
+        fleet,
+        jobs=args.jobs,
+        per_shard_limit=args.per_shard,
+        solver=args.solver,
+        timeout=args.timeout,
+    )
+    results, aggregate = dispatcher.drain()
+    print(format_batch_table(results, aggregate))
+    if args.out:
+        from repro.service import JsonlSink
+
+        sink = JsonlSink(args.out)
+        try:
+            for result in results:
+                sink.write(result.to_dict())
+        finally:
+            sink.close()
+    failed = aggregate["jobs"] - aggregate["reproduced"]
+    return 1 if failed else 0
 
 
 def _common_run_flags(sub):
@@ -699,6 +969,11 @@ def build_parser():
 
     c = csub.add_parser("ls", help="list corpus entries")
     c.add_argument("corpus")
+    c.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable rows (incl. fleet shard/cluster columns)",
+    )
     c.set_defaults(func=cmd_corpus_ls)
 
     c = csub.add_parser(
@@ -743,6 +1018,103 @@ def build_parser():
         help="bypass the corpus analysis cache (always re-run symexec+encode)",
     )
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "fleet", help="manage a sharded reproduction fleet (repro.fleet)"
+    )
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+
+    f = fsub.add_parser("init", help="create a fleet root")
+    f.add_argument("fleet", help="fleet directory")
+    f.add_argument("--shards", type=int, default=4)
+    f.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="shared analysis cache size budget (LRU-evicted)",
+    )
+    f.set_defaults(func=cmd_fleet_init)
+
+    f = fsub.add_parser(
+        "add", help="record a failure locally and store it in its shard"
+    )
+    f.add_argument("fleet")
+    _common_run_flags(f)
+    f.add_argument("--name", help="program name (default: file stem)")
+    f.add_argument("--max-seeds", type=int, default=500)
+    f.set_defaults(func=cmd_fleet_add)
+
+    f = fsub.add_parser("ls", help="list every entry across all shards")
+    f.add_argument("fleet")
+    f.add_argument("--json", action="store_true")
+    f.set_defaults(func=cmd_fleet_ls)
+
+    f = fsub.add_parser(
+        "stats", help="per-shard, cluster, queue and cache counters"
+    )
+    f.add_argument("fleet")
+    f.add_argument("--json", action="store_true")
+    f.set_defaults(func=cmd_fleet_stats)
+
+    f = fsub.add_parser(
+        "rebalance", help="re-route every entry (e.g. after --shards change)"
+    )
+    f.add_argument("fleet")
+    f.add_argument("--shards", type=int, help="new shard count")
+    f.set_defaults(func=cmd_fleet_rebalance)
+
+    f = fsub.add_parser(
+        "export", help="write one entry as a wire-format crash report"
+    )
+    f.add_argument("fleet")
+    f.add_argument("entry")
+    f.add_argument("--out", help="report file (default: stdout)")
+    f.set_defaults(func=cmd_fleet_export)
+
+    f = fsub.add_parser(
+        "ingest", help="feed crash-report JSON files into the fleet"
+    )
+    f.add_argument("fleet")
+    f.add_argument("reports", nargs="+", help="report JSON files")
+    f.add_argument(
+        "--connect",
+        help="send to a running gateway at HOST:PORT instead of ingesting "
+        "in-process",
+    )
+    f.add_argument("--max-queue-depth", type=int, default=256)
+    f.set_defaults(func=cmd_fleet_ingest)
+
+    f = fsub.add_parser(
+        "serve", help="run the async ingestion gateway (drains on shutdown)"
+    )
+    f.add_argument("fleet")
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=0)
+    f.add_argument("--max-queue-depth", type=int, default=256)
+    f.add_argument("--jobs", type=int, default=2)
+    f.add_argument("--per-shard", type=int, default=2)
+    f.add_argument(
+        "--solver",
+        default="smt",
+        choices=["smt", "smt-inc", "smt-portfolio", "genval"],
+    )
+    f.add_argument("--timeout", type=float, default=120.0)
+    f.set_defaults(func=cmd_fleet_serve)
+
+    f = fsub.add_parser(
+        "drain", help="solve every queued cluster and fan schedules out"
+    )
+    f.add_argument("fleet")
+    f.add_argument("--jobs", type=int, default=2)
+    f.add_argument("--per-shard", type=int, default=2)
+    f.add_argument(
+        "--solver",
+        default="smt",
+        choices=["smt", "smt-inc", "smt-portfolio", "genval"],
+    )
+    f.add_argument("--timeout", type=float, default=120.0)
+    f.add_argument("--out", help="write JSONL results to this file")
+    f.set_defaults(func=cmd_fleet_drain)
 
     p = sub.add_parser("bench", help="regenerate a paper table")
     p.add_argument("table", type=int, choices=[1, 2, 3])

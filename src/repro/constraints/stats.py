@@ -56,12 +56,14 @@ class CacheStats:
     ``stale`` counts entries rejected — and deleted — because their
     stored schema version or prune configuration no longer matched; a
     stale entry also counts as a miss, so ``hits + misses`` is the total
-    number of lookups.
+    number of lookups.  ``evictions`` counts entries removed to stay
+    inside a :class:`repro.store.cache.SharedAnalysisCache` size budget.
     """
 
     hits: int = 0
     misses: int = 0
     stale: int = 0
+    evictions: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -70,6 +72,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stale": self.stale,
+            "evictions": self.evictions,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }

@@ -1,0 +1,66 @@
+"""The reproduction fleet: CLAP as a service for a crash-reporting fleet.
+
+The paper reproduces one failure on one machine.  A deployment sees the
+same failure from thousands of machines — and because CLAP records only
+thread-local control flow, most of those reports are *byte-identical*
+per-thread path profiles: one constraint solve serves them all.  This
+package is the scale-out layer that exploits that:
+
+* :mod:`repro.fleet.shards` — :class:`ShardedCorpus`: trace storage
+  partitioned into N ordinary corpora, every trace routed by its content
+  hash, with per-shard manifests and rebalancing;
+* :mod:`repro.fleet.cluster` — dedup/clustering by Ball-Larus whole-path
+  profile equality, the :class:`ClusterRegistry` of representatives,
+  members, solved schedules, and the similarity diagnostic;
+* :mod:`repro.fleet.queue` — :class:`DurableJobQueue`: a crash-safe
+  directory-backed FIFO of solve jobs (accepted work survives restarts);
+* :mod:`repro.fleet.gateway` — :class:`IngestGateway`: the asyncio
+  ingestion server (newline-JSON over TCP) with validation, dedup,
+  backpressure and graceful drain;
+* :mod:`repro.fleet.dispatch` — :class:`FleetDispatcher`: drains the
+  queue through the batch worker pool against the fleet's shared
+  analysis cache, then fans each solved schedule out to every cluster
+  member with a replay check.
+"""
+
+from repro.fleet.cluster import (
+    ClusterError,
+    ClusterRegistry,
+    cluster_material,
+    cluster_signature,
+    path_multiset,
+    profile_digests,
+    profile_similarity,
+)
+from repro.fleet.dispatch import FleetDispatcher
+from repro.fleet.gateway import (
+    GatewayError,
+    IngestGateway,
+    report_from_entry,
+    report_from_recorded,
+    request,
+    validate_report,
+)
+from repro.fleet.queue import DurableJobQueue, QueueError
+from repro.fleet.shards import FleetError, ShardedCorpus
+
+__all__ = [
+    "ClusterError",
+    "ClusterRegistry",
+    "cluster_material",
+    "cluster_signature",
+    "path_multiset",
+    "profile_digests",
+    "profile_similarity",
+    "FleetDispatcher",
+    "GatewayError",
+    "IngestGateway",
+    "report_from_entry",
+    "report_from_recorded",
+    "request",
+    "validate_report",
+    "DurableJobQueue",
+    "QueueError",
+    "FleetError",
+    "ShardedCorpus",
+]

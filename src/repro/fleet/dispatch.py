@@ -1,0 +1,201 @@
+"""The fleet dispatcher: durable queue → worker pool → cluster fan-out.
+
+One solve job per *cluster*, not per report — that is the fleet's whole
+economy.  The dispatcher claims pending solve jobs from the fleet's
+:class:`~repro.fleet.queue.DurableJobQueue` (FIFO, with a per-shard
+concurrency cap so one hot shard cannot starve the rest), runs each
+through the ordinary batch executor
+(:func:`repro.service.batch.run_repro_job` on a
+:class:`~repro.service.pool.WorkerPool`, pointed at the fleet's shared
+analysis cache tier), and records the outcome in the cluster registry.
+
+After a cluster's representative solves, :meth:`FleetDispatcher.fanout`
+replays the solved schedule against every other member's stored trace —
+the dedup invariant (identical whole-path profiles ⇒ identical
+constraint system) says it must reproduce their failure too, and fan-out
+*checks* that instead of assuming it.  Each fanned-out member yields a
+normal :class:`~repro.service.jobs.JobResult` with ``deduped=True`` and
+zero solve time, so batch aggregation and the results JSONL treat
+avoided solves and real solves uniformly.
+"""
+
+import time
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.fleet.cluster import STATUS_PENDING, STATUS_SOLVED
+from repro.service.batch import aggregate_results, run_repro_job
+from repro.service.jobs import (
+    STATUS_FAILED,
+    STATUS_REPRODUCED,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import WorkerPool
+
+
+class FleetDispatcher:
+    """Drains a fleet's solve queue and fans solved schedules out."""
+
+    def __init__(self, fleet, jobs=2, per_shard_limit=2, solver="smt",
+                 timeout=120.0, max_attempts=3, backoff=0.25):
+        self.fleet = fleet
+        self.jobs = jobs
+        self.per_shard_limit = max(1, per_shard_limit)
+        self.solver = solver
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.queue = fleet.queue()
+        self.registry = fleet.registry()
+
+    # -- solving ---------------------------------------------------------
+
+    def _spec_for(self, payload):
+        cache_max = self.fleet.config.get("cache_max_bytes") or 0
+        return JobSpec(
+            corpus_root=self.fleet.shard_root(payload["shard"]),
+            entry_id=payload["entry_id"],
+            solver=self.solver,
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            backoff=self.backoff,
+            shard=payload["shard"],
+            cluster=payload["cluster"],
+            cache_root=self.fleet.shared_cache().root,
+            cache_max_bytes=cache_max,
+            want_schedule=True,
+        )
+
+    def drain_once(self, on_outcome=None):
+        """Claim and solve one round of pending jobs; returns JobResults.
+
+        A round claims at most ``jobs`` queue entries, never more than
+        ``per_shard_limit`` from any one shard — jobs skipped by the cap
+        keep their FIFO position for the next round.
+        """
+        self.queue.recover()
+        per_shard = {}
+
+        def accept(payload):
+            shard = payload.get("shard", -1)
+            if per_shard.get(shard, 0) >= self.per_shard_limit:
+                return False
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+            return True
+
+        claimed = self.queue.claim(self.jobs, accept=accept)
+        if not claimed:
+            return []
+        specs = [self._spec_for(job["payload"]) for job in claimed]
+        pool = WorkerPool(run_repro_job, jobs=self.jobs)
+        raw = pool.run(
+            [spec.to_dict() for spec in specs], on_outcome=on_outcome
+        )
+        results = [JobResult.from_dict(outcome) for outcome in raw]
+        for job, result in zip(claimed, results):
+            signature = job["payload"]["cluster"]
+            if result.ok and result.schedule:
+                self.registry.mark_solved(
+                    signature,
+                    [tuple(uid) for uid in result.schedule],
+                    result.context_switches,
+                    solve={
+                        "entry_id": result.entry_id,
+                        "solver": result.solver,
+                        "time_solve": result.time_solve,
+                        "time_symbolic": result.time_symbolic,
+                    },
+                )
+                self.queue.complete(
+                    job["id"], {"status": result.status, "entry_id": result.entry_id}
+                )
+            else:
+                self.registry.mark_failed(
+                    signature, result.reason or result.status
+                )
+                self.queue.fail(job["id"], result.reason or result.status)
+        return results
+
+    # -- fan-out ---------------------------------------------------------
+
+    def fanout(self, on_outcome=None):
+        """Validate every solved cluster's unvalidated members by replay.
+
+        For each member the representative's schedule is replayed against
+        the member's own stored trace/program; success is recorded in the
+        registry and reported as a ``deduped`` JobResult (solve time 0 —
+        the solve was shared).  A member whose replay does *not* hit the
+        same failure is reported ``failed`` and left unvalidated: that
+        would mean the dedup invariant was violated, and it must be loud.
+        """
+        results = []
+        for signature in self.registry.signatures():
+            record = self.registry.get(signature)
+            if record is None or record["status"] != STATUS_SOLVED:
+                continue
+            schedule = [tuple(uid) for uid in record["schedule"] or []]
+            for member in record["members"]:
+                if member.get("validated"):
+                    continue
+                result = self._fan_one(record, member, schedule)
+                self.registry.mark_member_validated(
+                    signature, member["entry_id"], result.ok
+                )
+                results.append(result)
+                if on_outcome is not None:
+                    on_outcome(len(results) - 1, result.to_dict())
+        return results
+
+    def _fan_one(self, record, member, schedule):
+        signature = record["signature"]
+        result = JobResult(
+            entry_id=member["entry_id"],
+            status=STATUS_FAILED,
+            solver=self.solver,
+            shard=member["shard"],
+            cluster=signature,
+            deduped=True,
+            context_switches=record.get("context_switches", -1),
+            schedule=[list(uid) for uid in schedule],
+        )
+        t0 = time.monotonic()
+        try:
+            entry = self.fleet.shard(member["shard"]).entry(member["entry_id"])
+            result.program = entry.program_name()
+            stored = entry.load_execution()
+            pipeline = ClapPipeline(
+                stored.program,
+                ClapConfig(**entry.config_kwargs(solver=self.solver)),
+            )
+            outcome = pipeline.replay(schedule, stored.bug)
+            if outcome.reproduced:
+                result.status = STATUS_REPRODUCED
+            else:
+                result.reason = (
+                    "fan-out replay did not reproduce the member's failure"
+                )
+        except Exception as exc:
+            result.reason = "%s: %s" % (type(exc).__name__, exc)
+        result.wall_time = round(time.monotonic() - t0, 6)
+        return result
+
+    # -- the whole drain -------------------------------------------------
+
+    def drain(self, on_outcome=None, max_rounds=1000):
+        """Solve until the queue is empty, then fan out; returns
+        ``(results, aggregate)`` shaped like ``run_batch``'s output."""
+        t0 = time.monotonic()
+        results = []
+        for _ in range(max_rounds):
+            round_results = self.drain_once(on_outcome=on_outcome)
+            if not round_results:
+                if self.queue.counts()["pending"] == 0:
+                    break
+                continue
+            results.extend(round_results)
+        results.extend(self.fanout(on_outcome=on_outcome))
+        aggregate = aggregate_results(results)
+        aggregate["batch_wall_time"] = round(time.monotonic() - t0, 6)
+        aggregate["clusters"] = self.registry.stats()
+        aggregate["shared_cache"] = self.fleet.shared_cache().usage()
+        return results, aggregate

@@ -1,0 +1,365 @@
+"""The async ingestion gateway: crash reports in, solve jobs out.
+
+Fleet machines do not ship whole corpora — they ship **crash reports**:
+one JSON object carrying the program source, the record parameters, the
+observed failure and the hex-encoded per-thread Ball-Larus token streams
+(the ``.clap`` chunk payloads; everything CLAP's recorder knows).  The
+gateway is a small asyncio TCP server speaking newline-delimited JSON
+that accepts these reports and, for each one:
+
+1. validates it (source hash, decodable token streams, failure present);
+2. computes the trace's dedup-cluster signature
+   (:mod:`repro.fleet.cluster`);
+3. applies **backpressure**: a report that would enqueue a *new* solve
+   while the durable queue is at its depth limit is rejected outright
+   (the client retries later) — but a report joining an existing cluster
+   is always accepted, because dedup adds no solve work;
+4. stores the trace in its content-hash shard and registers the cluster
+   membership (:meth:`repro.fleet.shards.ShardedCorpus.add_report`),
+   answering ``enqueued`` (novel — a solve job is now durably queued) or
+   ``deduped`` (an equivalent trace is already known; the solved
+   schedule will be fanned out to this report too).
+
+Ingestion work is blocking filesystem I/O, so the event loop hands it to
+a worker thread (``run_in_executor``) and a lock serializes mutation of
+the registry/manifests; the loop itself stays free to accept
+connections.  Shutdown is **graceful**: the listener closes, in-flight
+ingests finish (their reports are durably stored or rejected, never half
+done), and — when the gateway owns a dispatcher — the solve queue is
+drained before :meth:`IngestGateway.serve` returns.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+from repro.core.clap import ClapConfig
+from repro.fleet.cluster import cluster_material, cluster_signature, path_multiset
+from repro.runtime.events import BugReport
+from repro.store.corpus import _RECORD_PARAMS, _sha256
+from repro.tracing.logfmt import TraceDecodeError, decode_tokens, encode_tokens
+
+REPORT_FORMAT = 1
+
+# Solve-queue depth at which novel reports start bouncing.
+DEFAULT_MAX_QUEUE_DEPTH = 256
+
+
+class GatewayError(Exception):
+    """A malformed or unacceptable crash report."""
+
+
+# -- report construction ---------------------------------------------------
+
+
+def report_from_recorded(source, name, config, recorded):
+    """Build the wire-format crash report for a local recording.
+
+    ``recorded`` is a :class:`~repro.core.clap.RecordedExecution` (or
+    anything with ``.recorder.logs``, ``.bug``, ``.seed``, ``.result``).
+    """
+    bug = recorded.bug
+    if bug is None:
+        raise GatewayError("refusing to report an execution with no failure")
+    result = recorded.result
+    return {
+        "format": REPORT_FORMAT,
+        "program": {
+            "name": name or "program",
+            "source": source,
+            "sha256": _sha256(source),
+        },
+        "record": dict(
+            {key: getattr(config, key) for key in _RECORD_PARAMS},
+            seed=recorded.seed,
+        ),
+        "bug": {
+            "kind": bug.kind,
+            "message": bug.message,
+            "thread": bug.thread,
+            "line": bug.line,
+        },
+        "logs": {
+            thread: encode_tokens(tokens).hex()
+            for thread, tokens in recorded.recorder.logs.items()
+        },
+        "stats": {
+            "thread_names": sorted(result.thread_names.values()),
+            "n_instructions": result.total_instructions(),
+            "n_branches": result.total_branches(),
+            "n_saps": result.total_saps(),
+            "instrumentation_ops": getattr(
+                recorded.recorder, "instrumentation_ops", 0
+            ),
+        },
+    }
+
+
+def report_from_entry(entry):
+    """Build a crash report from a stored corpus entry (for re-ingest)."""
+    manifest = entry.manifest
+    stored = entry.load_execution()
+    record = {
+        key: manifest["record"][key]
+        for key in _RECORD_PARAMS
+        if key in manifest["record"]
+    }
+    record["seed"] = manifest["record"].get("seed", -1)
+    return {
+        "format": REPORT_FORMAT,
+        "program": dict(manifest["program"]),
+        "record": record,
+        "bug": dict(manifest["bug"]),
+        "logs": {
+            thread: encode_tokens(tokens).hex()
+            for thread, tokens in stored.recorder.logs.items()
+        },
+        "stats": dict(manifest.get("stats", {})),
+    }
+
+
+def validate_report(report):
+    """Check a wire report and decode it; raises :class:`GatewayError`.
+
+    Returns ``(source, name, config, logs, bug, stats, seed)`` ready for
+    :meth:`~repro.fleet.shards.ShardedCorpus.add_report`.
+    """
+    if not isinstance(report, dict):
+        raise GatewayError("report must be a JSON object")
+    if report.get("format") != REPORT_FORMAT:
+        raise GatewayError(
+            "unsupported report format %r" % report.get("format")
+        )
+    program = report.get("program")
+    if not isinstance(program, dict) or not program.get("source"):
+        raise GatewayError("report has no program source")
+    source = program["source"]
+    if not isinstance(source, str):
+        raise GatewayError("program source must be text")
+    claimed = program.get("sha256")
+    if claimed and claimed != _sha256(source):
+        raise GatewayError("program source does not match its claimed hash")
+    bug_raw = report.get("bug")
+    if not isinstance(bug_raw, dict) or not bug_raw.get("kind"):
+        raise GatewayError("report has no failure — nothing to reproduce")
+    bug = BugReport(
+        kind=bug_raw.get("kind", "assertion"),
+        message=bug_raw.get("message", ""),
+        thread=bug_raw.get("thread", ""),
+        line=int(bug_raw.get("line", 0)),
+    )
+    raw_logs = report.get("logs")
+    if not isinstance(raw_logs, dict) or not raw_logs:
+        raise GatewayError("report has no recorded token streams")
+    logs = {}
+    for thread, blob in raw_logs.items():
+        try:
+            logs[thread] = decode_tokens(bytes.fromhex(blob))
+        except (ValueError, TraceDecodeError) as exc:
+            raise GatewayError(
+                "thread %r: undecodable token stream: %s" % (thread, exc)
+            ) from exc
+    record = report.get("record") or {}
+    try:
+        config = ClapConfig(
+            **{key: record[key] for key in _RECORD_PARAMS if key in record}
+        )
+    except TypeError as exc:
+        raise GatewayError("bad record parameters: %s" % exc) from exc
+    name = program.get("name") or "program"
+    stats = report.get("stats") or {}
+    return source, name, config, logs, bug, stats, int(record.get("seed", -1))
+
+
+# -- the gateway -----------------------------------------------------------
+
+
+class IngestGateway:
+    """Accepts crash reports into a fleet, with dedup and backpressure."""
+
+    def __init__(self, fleet, max_queue_depth=DEFAULT_MAX_QUEUE_DEPTH,
+                 dispatcher=None):
+        self.fleet = fleet
+        self.max_queue_depth = max_queue_depth
+        # Optional FleetDispatcher; when present the 'drain' op and the
+        # shutdown path solve the queued work before serve() returns.
+        self.dispatcher = dispatcher
+        self.address = None
+        self._lock = threading.Lock()
+        self.counters = {
+            "ingested": 0,
+            "enqueued": 0,
+            "deduped": 0,
+            "rejected": 0,
+            "invalid": 0,
+        }
+
+    # -- the synchronous core (runs in an executor thread) ---------------
+
+    def ingest(self, report):
+        """Validate + store one report; returns the outcome dict.
+
+        Thread-safe; this is the whole ingest path and can be called
+        directly (the CLI's offline ``repro fleet ingest`` does).
+        """
+        with self._lock:
+            return self._ingest_locked(report)
+
+    def _ingest_locked(self, report):
+        try:
+            source, name, config, logs, bug, stats, seed = validate_report(
+                report
+            )
+        except GatewayError as exc:
+            self.counters["invalid"] += 1
+            return {"status": "invalid", "reason": str(exc)}
+        self.counters["ingested"] += 1
+        program_sha = _sha256(source)
+        material = cluster_material(
+            program_sha, config.memory_model, bug, logs
+        )
+        signature = cluster_signature(material)
+        registry = self.fleet.registry()
+        novel = registry.get(signature) is None
+        depth = self.fleet.queue().depth()
+        if novel and depth >= self.max_queue_depth:
+            # Backpressure: only *novel* reports add solve work, so only
+            # they bounce; dedup joins are free and always accepted.
+            self.counters["rejected"] += 1
+            return {
+                "status": "rejected",
+                "reason": "solve queue full (depth %d >= %d)"
+                % (depth, self.max_queue_depth),
+                "cluster": signature,
+                "queue_depth": depth,
+            }
+        outcome = self.fleet.add_report(
+            source, name, config, logs, bug, stats=stats, seed=seed
+        )
+        self.counters[outcome["status"]] += 1
+        outcome["queue_depth"] = self.fleet.queue().depth()
+        if outcome["status"] == "enqueued":
+            # Near-miss diagnostic: the closest same-program cluster by
+            # path-profile similarity (never a merge — see fleet.cluster).
+            nearest, similarity = registry.nearest(
+                program_sha, path_multiset(logs), exclude=signature
+            )
+            if nearest is not None:
+                outcome["similar_to"] = nearest
+                outcome["similarity"] = round(similarity, 4)
+        return outcome
+
+    def stats(self):
+        fleet_stats = self.fleet.stats()
+        fleet_stats["gateway"] = dict(self.counters)
+        return fleet_stats
+
+    # -- the async server -------------------------------------------------
+
+    async def _respond(self, request):
+        op = request.get("op")
+        loop = asyncio.get_running_loop()
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "ingest":
+            outcome = await loop.run_in_executor(
+                None, self.ingest, request.get("report")
+            )
+            return dict(outcome, ok=outcome.get("status") != "invalid")
+        if op == "stats":
+            stats = await loop.run_in_executor(None, self.stats)
+            return {"ok": True, "stats": stats}
+        if op == "drain":
+            if self.dispatcher is None:
+                return {"ok": False, "error": "gateway has no dispatcher"}
+            results, aggregate = await loop.run_in_executor(
+                None, self.dispatcher.drain
+            )
+            return {
+                "ok": True,
+                "results": [r.to_dict() for r in results],
+                "aggregate": aggregate,
+            }
+        if op == "shutdown":
+            self._stop.set()
+            return {"ok": True, "op": "shutdown"}
+        return {"ok": False, "error": "unknown op %r" % op}
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                except ValueError as exc:
+                    response = {"ok": False, "error": "bad json: %s" % exc}
+                else:
+                    try:
+                        response = await self._respond(request)
+                    except Exception as exc:  # keep the server up
+                        response = {
+                            "ok": False,
+                            "error": "%s: %s" % (type(exc).__name__, exc),
+                        }
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def serve(self, host="127.0.0.1", port=0, ready=None,
+                    drain_on_shutdown=True):
+        """Serve until a ``shutdown`` op arrives, then drain gracefully.
+
+        ``ready`` (a ``threading.Event``) is set once the listener is
+        bound and :attr:`address` holds the actual (host, port) — how a
+        test or CLI driving the server from another thread learns the
+        ephemeral port.  On shutdown the listener closes first (no new
+        reports), in-flight ingests complete, and the dispatcher — if one
+        was attached — drains the solve queue.  Returns the drain's
+        ``(results, aggregate)`` or ``(None, None)``.
+        """
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host, port)
+        self.address = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self.address = None
+        # The listener is closed; whatever the executor is still writing
+        # finishes under the ingest lock before the drain below sees it.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._lock.acquire)
+        self._lock.release()
+        if drain_on_shutdown and self.dispatcher is not None:
+            return await loop.run_in_executor(None, self.dispatcher.drain)
+        return None, None
+
+
+def request(address, payload, timeout=60.0):
+    """One synchronous round-trip to a running gateway (test/CLI client)."""
+    host, port = address
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    return json.loads(b"".join(chunks).decode("utf-8"))

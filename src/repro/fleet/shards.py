@@ -1,0 +1,540 @@
+"""The sharded trace corpus: fleet-scale storage routed by content hash.
+
+A single flat corpus directory stops scaling long before "millions of
+crash reports": every ``ls`` walks every entry, every add contends on one
+directory, and there is no unit of placement to spread across disks or
+machines.  The fleet layer partitions storage into **shards** — each a
+perfectly ordinary :class:`~repro.store.corpus.Corpus` — and routes every
+trace by its content hash (the same fingerprint
+:class:`~repro.store.cache.AnalysisCache` keys analyses by), so equal
+traces always land in the same shard and placement needs no coordination
+or lookup table.
+
+Layout::
+
+    fleet-root/
+      fleet.json                  # {"format": 1, "shards": N, config…}
+      shards/
+        shard-00/                 # a normal Corpus (corpus.json, entries/)
+          shard.json              # per-shard manifest: entry → {fingerprint,
+          …                       #   cluster, program} (rebuildable cache)
+      clusters/                   # ClusterRegistry (fleet.cluster)
+      queue/                      # DurableJobQueue (fleet.queue)
+      cache/                      # SharedAnalysisCache — the shared tier
+
+Every fleet entry's manifest carries a ``fleet`` section (shard index,
+cluster signature, trace fingerprint), so the per-shard ``shard.json``
+manifests are pure caches: :meth:`ShardedCorpus.sync_shard` rebuilds one
+from its entries' manifests after a crash or manual surgery, and
+:meth:`ShardedCorpus.rebalance` re-routes every entry after a shard-count
+change (updating the cluster registry's shard references to match).
+"""
+
+import json
+import os
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.fleet.cluster import (
+    ClusterRegistry,
+    cluster_material,
+    cluster_signature,
+    path_multiset,
+)
+from repro.fleet.queue import DurableJobQueue
+from repro.minilang import compile_source
+from repro.store.cache import AnalysisCache, SharedAnalysisCache
+from repro.store.corpus import Corpus, CorpusError, _sha256
+from repro.tracing.logfmt import encode_tokens
+
+FLEET_FORMAT = 1
+SHARD_MANIFEST_FORMAT = 1
+
+# Default size budget for the shared analysis cache tier (64 MiB); the
+# CLI and fleet.json config can override.
+DEFAULT_CACHE_BUDGET = 64 * 1024 * 1024
+
+
+class FleetError(Exception):
+    """A structural problem with a fleet directory."""
+
+
+class _ReportRecorder:
+    """Duck-types a finalized PathRecorder for storage/fingerprinting."""
+
+    def __init__(self, logs, instrumentation_ops=0):
+        self.logs = logs
+        self.instrumentation_ops = instrumentation_ops
+
+    def log_size_bytes(self):
+        return sum(len(encode_tokens(tokens)) for tokens in self.logs.values())
+
+
+class _ReportResult:
+    """Duck-types ExecutionResult from a crash report's stats dict."""
+
+    def __init__(self, bug, stats):
+        self.bug = bug
+        self.thread_names = {
+            i: name for i, name in enumerate(stats.get("thread_names", []))
+        }
+        self.saps_by_thread = {}
+        self._stats = stats
+
+    def total_instructions(self):
+        return self._stats.get("n_instructions", 0)
+
+    def total_branches(self):
+        return self._stats.get("n_branches", 0)
+
+    def total_saps(self):
+        return self._stats.get("n_saps", 0)
+
+
+class ShardedCorpus:
+    """A fleet root: N hash-routed shards plus the shared fleet services."""
+
+    def __init__(self, root, n_shards, config=None):
+        self.root = root
+        self.n_shards = n_shards
+        self.config = dict(config or {})
+        self.shards_dir = os.path.join(root, "shards")
+        self._shards = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(cls, root, shards=4, cache_max_bytes=DEFAULT_CACHE_BUDGET):
+        if shards < 1:
+            raise FleetError("a fleet needs at least one shard")
+        marker = os.path.join(root, "fleet.json")
+        if os.path.exists(marker):
+            raise FleetError("%s is already a fleet" % root)
+        os.makedirs(os.path.join(root, "shards"), exist_ok=True)
+        fleet = cls(root, shards, {"cache_max_bytes": cache_max_bytes})
+        fleet._write_marker()
+        for index in range(shards):
+            fleet.shard(index)
+        return fleet
+
+    @classmethod
+    def open(cls, root):
+        marker = os.path.join(root, "fleet.json")
+        if not os.path.isfile(marker):
+            raise FleetError("%s is not a fleet (no fleet.json)" % root)
+        with open(marker, "r", encoding="utf-8") as fh:
+            info = json.load(fh)
+        if info.get("format") != FLEET_FORMAT:
+            raise FleetError(
+                "%s: unsupported fleet format %r" % (root, info.get("format"))
+            )
+        config = {k: v for k, v in info.items() if k not in ("format", "shards")}
+        return cls(root, int(info["shards"]), config)
+
+    @classmethod
+    def open_or_create(cls, root, shards=4,
+                       cache_max_bytes=DEFAULT_CACHE_BUDGET):
+        if os.path.isfile(os.path.join(root, "fleet.json")):
+            return cls.open(root)
+        return cls.create(root, shards=shards, cache_max_bytes=cache_max_bytes)
+
+    def _write_marker(self):
+        marker = os.path.join(self.root, "fleet.json")
+        payload = dict(self.config, format=FLEET_FORMAT, shards=self.n_shards)
+        tmp = "%s.tmp.%d" % (marker, os.getpid())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, marker)
+
+    # -- the shared fleet services --------------------------------------
+
+    def registry(self):
+        return ClusterRegistry(os.path.join(self.root, "clusters"))
+
+    def queue(self):
+        return DurableJobQueue(os.path.join(self.root, "queue"))
+
+    def shared_cache(self):
+        return SharedAnalysisCache(
+            os.path.join(self.root, "cache"),
+            max_bytes=self.config.get("cache_max_bytes"),
+        )
+
+    # -- shard plumbing --------------------------------------------------
+
+    @staticmethod
+    def shard_name(index):
+        return "shard-%02d" % index
+
+    def shard_root(self, index):
+        return os.path.join(self.shards_dir, self.shard_name(index))
+
+    def shard(self, index):
+        """The :class:`Corpus` behind shard ``index`` (created lazily)."""
+        if not 0 <= index < self.n_shards:
+            raise FleetError(
+                "shard %d out of range (fleet has %d)" % (index, self.n_shards)
+            )
+        if index not in self._shards:
+            self._shards[index] = Corpus.open_or_create(self.shard_root(index))
+            self._ensure_shard_manifest(index)
+        return self._shards[index]
+
+    def shard_of(self, fingerprint):
+        """Route a trace content hash (hex) to its home shard."""
+        return int(fingerprint[:16], 16) % self.n_shards
+
+    # -- per-shard manifests ---------------------------------------------
+
+    def _shard_manifest_path(self, index):
+        return os.path.join(self.shard_root(index), "shard.json")
+
+    def _ensure_shard_manifest(self, index):
+        if not os.path.isfile(self._shard_manifest_path(index)):
+            self._write_shard_manifest(
+                index,
+                {
+                    "format": SHARD_MANIFEST_FORMAT,
+                    "shard": index,
+                    "entries": {},
+                },
+            )
+
+    def shard_manifest(self, index):
+        try:
+            with open(
+                self._shard_manifest_path(index), "r", encoding="utf-8"
+            ) as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return self.sync_shard(index)
+        if manifest.get("format") != SHARD_MANIFEST_FORMAT:
+            return self.sync_shard(index)
+        return manifest
+
+    def _write_shard_manifest(self, index, manifest):
+        path = self._shard_manifest_path(index)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def sync_shard(self, index):
+        """Rebuild shard ``index``'s manifest from its entries' manifests.
+
+        The per-entry ``fleet`` manifest section is authoritative;
+        ``shard.json`` is a cache of it.  Entries added to the shard
+        behind the fleet's back (plain ``repro corpus add``) appear with
+        a fingerprint computed from their stored trace.
+        """
+        corpus = self.shard(index)
+        entries = {}
+        for entry in corpus.entries():
+            info = dict(entry.manifest.get("fleet") or {})
+            if not info.get("fingerprint"):
+                stored = entry.load_execution()
+                info["fingerprint"] = AnalysisCache.trace_fingerprint(
+                    stored.recorder
+                )
+            entries[entry.entry_id] = {
+                "fingerprint": info["fingerprint"],
+                "cluster": info.get("cluster", ""),
+                "program": entry.program_name(),
+            }
+        manifest = {
+            "format": SHARD_MANIFEST_FORMAT,
+            "shard": index,
+            "entries": entries,
+        }
+        self._write_shard_manifest(index, manifest)
+        return manifest
+
+    def _register_entry(self, index, entry_id, fingerprint, cluster, program):
+        manifest = self.shard_manifest(index)
+        manifest["entries"][entry_id] = {
+            "fingerprint": fingerprint,
+            "cluster": cluster,
+            "program": program,
+        }
+        self._write_shard_manifest(index, manifest)
+
+    # -- adding traces ---------------------------------------------------
+
+    def _register_cluster(self, signature, material, counts, index, entry_id):
+        """Create/extend the trace's cluster; enqueue a solve if novel.
+
+        Returns ``(status, job_id)`` where status is ``"enqueued"`` for a
+        new cluster (solve job durably queued) or ``"deduped"`` when an
+        equivalent trace is already known.
+        """
+        registry = self.registry()
+        member = {"shard": index, "entry_id": entry_id}
+        if registry.get(signature) is not None:
+            registry.add_member(signature, member)
+            return "deduped", None
+        registry.create(
+            signature,
+            material,
+            member,
+            path_counts=ClusterRegistry.encode_path_counts(counts),
+        )
+        job_id = self.queue().put(
+            {
+                "kind": "solve",
+                "cluster": signature,
+                "shard": index,
+                "entry_id": entry_id,
+            }
+        )
+        return "enqueued", job_id
+
+    def _fleet_stamp(self, index, signature, fingerprint):
+        return {
+            "fleet": {
+                "shard": index,
+                "cluster": signature,
+                "fingerprint": fingerprint,
+            }
+        }
+
+    def add(self, source, name=None, config=None, flush_every=16):
+        """Record one failure locally and store it routed by content hash.
+
+        Records once (the seed search), routes the trace by fingerprint,
+        then persists through :meth:`Corpus.add`'s streaming write +
+        determinism check into the home shard.  Returns an outcome dict:
+        shard, entry_id, cluster signature and dedup status.
+        """
+        if not isinstance(source, str):
+            raise FleetError("fleet entries need MiniLang source text")
+        program = compile_source(source, name=name)
+        config = config or ClapConfig()
+        recorded = ClapPipeline(program, config).record()
+        fingerprint = AnalysisCache.trace_fingerprint(recorded.recorder)
+        index = self.shard_of(fingerprint)
+        material = cluster_material(
+            _sha256(source),
+            config.memory_model,
+            recorded.bug,
+            recorded.recorder.logs,
+        )
+        signature = cluster_signature(material)
+
+        corpus = self.shard(index)
+        base = "%s-s%d-%s" % (program.name, recorded.seed, _sha256(source)[:8])
+        entry_id, suffix = base, 1
+        while os.path.exists(os.path.join(corpus.entries_dir, entry_id)):
+            suffix += 1
+            entry_id = "%s-%d" % (base, suffix)
+        entry = corpus.add(
+            source,
+            name=name,
+            config=config,
+            entry_id=entry_id,
+            flush_every=flush_every,
+            recorded=recorded,
+            extra_manifest=self._fleet_stamp(index, signature, fingerprint),
+        )
+        self._register_entry(
+            index, entry.entry_id, fingerprint, signature, program.name
+        )
+        status, job_id = self._register_cluster(
+            signature, material, path_multiset(recorded.recorder.logs),
+            index, entry.entry_id,
+        )
+        return {
+            "shard": index,
+            "entry_id": entry.entry_id,
+            "cluster": signature,
+            "fingerprint": fingerprint,
+            "status": status,
+            "job_id": job_id,
+        }
+
+    def add_report(self, source, name, config, logs, bug, stats=None,
+                   seed=-1, via="gateway"):
+        """Store an already-recorded crash report (the gateway's path).
+
+        No re-execution happens — the report's logs are trusted as-is and
+        written straight into the routed shard's container.  Returns the
+        same outcome dict shape as :meth:`add`.
+        """
+        recorder = _ReportRecorder(
+            logs, (stats or {}).get("instrumentation_ops", 0)
+        )
+        result = _ReportResult(bug, stats or {})
+        fingerprint = AnalysisCache.trace_fingerprint(recorder)
+        index = self.shard_of(fingerprint)
+        material = cluster_material(
+            _sha256(source), config.memory_model, bug, logs
+        )
+        signature = cluster_signature(material)
+        entry = self.shard(index).add_recorded(
+            source,
+            recorder,
+            result,
+            name=name,
+            config=config,
+            tag="r" + signature[:8],
+            seed=seed,
+            provenance={"mode": via},
+            extra_manifest=self._fleet_stamp(index, signature, fingerprint),
+        )
+        self._register_entry(
+            index, entry.entry_id, fingerprint, signature,
+            entry.program_name(),
+        )
+        status, job_id = self._register_cluster(
+            signature, material, path_multiset(logs), index, entry.entry_id
+        )
+        return {
+            "shard": index,
+            "entry_id": entry.entry_id,
+            "cluster": signature,
+            "fingerprint": fingerprint,
+            "status": status,
+            "job_id": job_id,
+        }
+
+    # -- introspection ---------------------------------------------------
+
+    def entries(self):
+        """Every (shard_index, CorpusEntry) in the fleet, shard order."""
+        out = []
+        for index in range(self.n_shards):
+            for entry in self.shard(index).entries():
+                out.append((index, entry))
+        return out
+
+    def stats(self):
+        """Per-shard and total counters for ``repro fleet stats``."""
+        shards = []
+        for index in range(self.n_shards):
+            manifest = self.shard_manifest(index)
+            rows = manifest["entries"]
+            trace_bytes = 0
+            for entry_id in rows:
+                path = os.path.join(
+                    self.shard_root(index), "entries", entry_id, "trace.clap"
+                )
+                try:
+                    trace_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+            shards.append(
+                {
+                    "shard": index,
+                    "entries": len(rows),
+                    "clusters": len(
+                        {row["cluster"] for row in rows.values() if row["cluster"]}
+                    ),
+                    "programs": len({row["program"] for row in rows.values()}),
+                    "trace_bytes": trace_bytes,
+                }
+            )
+        return {
+            "shards": shards,
+            "entries": sum(s["entries"] for s in shards),
+            "trace_bytes": sum(s["trace_bytes"] for s in shards),
+            "clusters": self.registry().stats(),
+            "queue": self.queue().counts(),
+            "cache": self.shared_cache().usage(),
+        }
+
+    # -- rebalance -------------------------------------------------------
+
+    def rebalance(self, shards=None):
+        """Re-route every entry after a shard-count change (or repair).
+
+        Each entry's home is recomputed from its stored trace fingerprint
+        under the new shard count; misplaced entries move (one atomic
+        directory rename each), shard manifests are rebuilt, and cluster
+        registry records are updated to the new shard indices.  Returns
+        ``{"shards": new_count, "moved": n, "entries": total}``.
+        """
+        new_count = self.n_shards if shards is None else int(shards)
+        if new_count < 1:
+            raise FleetError("a fleet needs at least one shard")
+
+        # Collect every entry's fingerprint (authoritative: its manifest).
+        placements = []  # (old_index, entry_id, fingerprint)
+        for index in range(self.n_shards):
+            manifest = self.sync_shard(index)
+            for entry_id, row in manifest["entries"].items():
+                placements.append((index, entry_id, row["fingerprint"]))
+
+        self.n_shards = new_count
+        self._shards = {}
+        self._write_marker()
+        for index in range(new_count):
+            self.shard(index)
+
+        moved = 0
+        new_shard_of = {}
+        for old_index, entry_id, fingerprint in placements:
+            target = self.shard_of(fingerprint)
+            new_shard_of[entry_id] = target
+            if target == old_index:
+                continue
+            src = os.path.join(
+                self.shard_root(old_index), "entries", entry_id
+            )
+            dst = os.path.join(self.shard_root(target), "entries", entry_id)
+            if os.path.exists(dst):
+                raise FleetError(
+                    "rebalance collision: %s already exists in shard %d"
+                    % (entry_id, target)
+                )
+            os.rename(src, dst)
+            moved += 1
+            # Re-stamp the entry's manifest with its new home.
+            entry = self.shard(target).entry(entry_id)
+            manifest = dict(entry.manifest)
+            fleet_info = dict(manifest.get("fleet") or {})
+            fleet_info["shard"] = target
+            fleet_info.setdefault("fingerprint", fingerprint)
+            manifest["fleet"] = fleet_info
+            entry._write_manifest(manifest)
+
+        # Drop manifests of shards that no longer exist, rebuild the rest.
+        for index in range(new_count):
+            self.sync_shard(index)
+        old_dirs = sorted(os.listdir(self.shards_dir))
+        for dirname in old_dirs:
+            if not dirname.startswith("shard-"):
+                continue
+            if int(dirname.split("-", 1)[1]) >= new_count:
+                leftover = os.path.join(
+                    self.shards_dir, dirname, "entries"
+                )
+                if os.path.isdir(leftover) and os.listdir(leftover):
+                    raise FleetError(
+                        "rebalance bug: %s still holds entries" % dirname
+                    )
+
+        # The cluster registry references (shard, entry_id) pairs; point
+        # them at the new homes.
+        registry = self.registry()
+        for signature in registry.signatures():
+            record = registry.get(signature)
+            if record is None:
+                continue
+            changed = False
+            for ref in [record["representative"], *record["members"]]:
+                target = new_shard_of.get(ref.get("entry_id"))
+                if target is not None and ref.get("shard") != target:
+                    ref["shard"] = target
+                    changed = True
+            if changed:
+                registry._write(record)
+
+        return {
+            "shards": new_count,
+            "moved": moved,
+            "entries": len(placements),
+        }

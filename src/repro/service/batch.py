@@ -25,7 +25,7 @@ from repro.service.jobs import (
     JobSpec,
 )
 from repro.service.pool import WorkerPool
-from repro.store.cache import AnalysisCache
+from repro.store.cache import AnalysisCache, SharedAnalysisCache
 from repro.store.corpus import Corpus
 
 
@@ -43,6 +43,8 @@ def run_repro_job(spec_dict, attempt=1):
         status=STATUS_FAILED,
         solver=spec.solver,
         worker_pid=os.getpid(),
+        shard=spec.shard,
+        cluster=spec.cluster,
     )
     try:
         corpus = Corpus.open(spec.corpus_root)
@@ -56,7 +58,13 @@ def run_repro_job(spec_dict, attempt=1):
         pipeline = ClapPipeline(stored.program, ClapConfig(**kwargs))
         fault_hooks.maybe_slow_solve(spec.faults)
         cache = None
-        if spec.use_cache:
+        if spec.cache_root:
+            # The fleet's shared tier: one cache directory serving every
+            # shard's workers, with a size budget and LRU eviction.
+            cache = SharedAnalysisCache(
+                spec.cache_root, max_bytes=spec.cache_max_bytes or None
+            )
+        elif spec.use_cache:
             cache = AnalysisCache(os.path.join(spec.corpus_root, "cache"))
         report = pipeline.reproduce_offline(stored, cache=cache)
         result.status = (
@@ -72,19 +80,37 @@ def run_repro_job(spec_dict, attempt=1):
         result.n_constraints = report.n_constraints
         result.n_variables = report.n_variables
         result.sat_stats = report.solver_detail.get("sat_stats") or {}
+        if spec.want_schedule and report.schedule:
+            result.schedule = [list(uid) for uid in report.schedule]
     except Exception as exc:
         result.reason = "%s: %s" % (type(exc).__name__, exc)
     return result.to_dict()
 
 
 class JsonlSink:
-    """Append-only JSONL result log, flushed line by line."""
+    """Crash-safe JSONL result log, flushed and fsynced line by line.
+
+    Follows the ``.clap`` container's tmp → fsync → atomic-rename
+    discipline: lines append to ``<path>.partial`` (each one flushed and
+    fsynced, so a killed batch leaves a durable results prefix there),
+    and ``close()`` fsyncs once more before renaming the partial onto
+    ``path`` — the finished results file appears atomically and is never
+    observable torn or half-written.
+    """
 
     def __init__(self, path):
         self.path = path
+        self.partial_path = path + ".partial"
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        self._fh = open(path, "a", encoding="utf-8")
+        self._fh = open(self.partial_path, "a", encoding="utf-8")
+        if self._fh.tell() == 0 and os.path.exists(path):
+            # Append semantics across runs: fold the previous finished
+            # file into the new partial before adding lines.
+            with open(path, "r", encoding="utf-8") as prev:
+                self._fh.write(prev.read())
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def write(self, record):
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -92,16 +118,33 @@ class JsonlSink:
         os.fsync(self._fh.fileno())
 
     def close(self):
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
         self._fh.close()
+        os.replace(self.partial_path, self.path)
 
     @staticmethod
     def read(path):
+        """Read a results log; falls back to a killed run's ``.partial``.
+
+        A partial file's final line may be torn (the kill landed inside
+        a write); it is dropped rather than letting one ragged tail make
+        the whole prefix unreadable.
+        """
+        if not os.path.exists(path) and os.path.exists(path + ".partial"):
+            path = path + ".partial"
         records = []
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
+            lines = [line.strip() for line in fh if line.strip()]
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if i == len(lines) - 1:
+                    break
+                raise
         return records
 
 
@@ -172,7 +215,7 @@ def aggregate_results(results):
     solve_times = [
         r.time_solve for r in results if r.status == STATUS_REPRODUCED
     ]
-    return {
+    aggregate = {
         "jobs": len(results),
         "by_status": by_status,
         "reproduced": by_status.get(STATUS_REPRODUCED, 0),
@@ -183,7 +226,22 @@ def aggregate_results(results):
         # Counter-wise sum of the per-job cache counters ('state' is a
         # string and drops out of the numeric merge).
         "cache": merge_sat_stats(r.cache for r in results),
+        "deduped": sum(1 for r in results if r.deduped),
     }
+    # Fleet runs: cache + dedup counters rolled up per shard.
+    if any(r.shard >= 0 for r in results):
+        by_shard = {}
+        for shard in sorted({r.shard for r in results if r.shard >= 0}):
+            ours = [r for r in results if r.shard == shard]
+            by_shard[str(shard)] = {
+                "jobs": len(ours),
+                "reproduced": sum(1 for r in ours if r.ok),
+                "deduped": sum(1 for r in ours if r.deduped),
+                "clusters": len({r.cluster for r in ours if r.cluster}),
+                "cache": merge_sat_stats(r.cache for r in ours),
+            }
+        aggregate["by_shard"] = by_shard
+    return aggregate
 
 
 def format_batch_table(results, aggregate):
@@ -242,13 +300,38 @@ def format_batch_table(results, aggregate):
     cache = aggregate.get("cache")
     if cache:
         lines.append(
-            "cache: hits=%d misses=%d stale=%d read=%dB written=%dB"
+            "cache: hits=%d misses=%d stale=%d evictions=%d "
+            "read=%dB written=%dB"
             % (
                 cache.get("hits", 0),
                 cache.get("misses", 0),
                 cache.get("stale", 0),
+                cache.get("evictions", 0),
                 cache.get("bytes_read", 0),
                 cache.get("bytes_written", 0),
+            )
+        )
+    if aggregate.get("deduped"):
+        lines.append(
+            "dedup: %d of %d jobs served by a cluster representative's solve"
+            % (aggregate["deduped"], aggregate["jobs"])
+        )
+    for shard, row in sorted(
+        aggregate.get("by_shard", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        shard_cache = row.get("cache", {})
+        lines.append(
+            "shard %s: %d jobs, %d reproduced, %d deduped, %d clusters, "
+            "cache hits=%d misses=%d evictions=%d"
+            % (
+                shard,
+                row["jobs"],
+                row["reproduced"],
+                row["deduped"],
+                row["clusters"],
+                shard_cache.get("hits", 0),
+                shard_cache.get("misses", 0),
+                shard_cache.get("evictions", 0),
             )
         )
     if any(r.recovered_trace for r in results):

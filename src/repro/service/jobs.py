@@ -50,6 +50,18 @@ class JobSpec:
     # Fault injection (see repro.service.faults), e.g.
     # {"kill_worker": {"attempts": [1]}, "slow_solve": {"seconds": 5}}.
     faults: dict = field(default_factory=dict)
+    # Fleet context (repro.fleet): which shard the entry lives in and the
+    # dedup-cluster signature it solves for; -1/"" outside a fleet.
+    shard: int = -1
+    cluster: str = ""
+    # Non-empty -> use the fleet's shared analysis cache tier at this
+    # root (store.cache.SharedAnalysisCache) instead of the per-corpus
+    # cache; cache_max_bytes 0 means no eviction budget.
+    cache_root: str = ""
+    cache_max_bytes: int = 0
+    # Ship the solved schedule back in the result (the fleet dispatcher
+    # fans it out to every cluster member).
+    want_schedule: bool = False
 
     def to_dict(self):
         return asdict(self)
@@ -83,6 +95,15 @@ class JobResult:
     # dict from CacheStats.as_dict()} when caching was on.
     cache: dict = field(default_factory=dict)
     worker_pid: int = 0
+    # Fleet context, echoed from the spec.
+    shard: int = -1
+    cluster: str = ""
+    # True when this outcome was fanned out from a cluster
+    # representative's solve instead of solved directly.
+    deduped: bool = False
+    # The solved schedule as [[thread, index], ...] when the spec asked
+    # for it (want_schedule).
+    schedule: list = field(default_factory=list)
 
     @property
     def ok(self):

@@ -18,10 +18,16 @@ the failure it records.  This package makes that durable:
 * :mod:`repro.store.cache` — the content-addressed analysis cache that
   lets ``repro batch`` re-runs skip symbolic execution and constraint
   encoding for (program, trace, memory model, prune config) keys already
-  analyzed.
+  analyzed — plus its fleet-wide shared tier
+  (:class:`~repro.store.cache.SharedAnalysisCache`: one directory serving
+  every shard, with a size budget, LRU eviction and eviction counters).
 """
 
-from repro.store.cache import ANALYSIS_SCHEMA_VERSION, AnalysisCache
+from repro.store.cache import (
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisCache,
+    SharedAnalysisCache,
+)
 from repro.store.container import (
     ChunkInfo,
     ClapReader,
@@ -40,6 +46,7 @@ from repro.store.recover import RecoveryError, RecoveryReport, recover_tokens
 __all__ = [
     "ANALYSIS_SCHEMA_VERSION",
     "AnalysisCache",
+    "SharedAnalysisCache",
     "ChunkInfo",
     "ClapReader",
     "ClapWriter",

@@ -199,3 +199,137 @@ class AnalysisCache:
                     self._discard(path)
                     self.stats.stale += 1
         return problems
+
+
+class SharedAnalysisCache(AnalysisCache):
+    """The fleet-wide shared cache tier: content addressing + a budget.
+
+    One cache directory serves every shard of a reproduction fleet and
+    every worker process draining its queue, so unlike the per-corpus
+    :class:`AnalysisCache` it cannot grow without bound.  This subclass
+    adds what a shared tier needs:
+
+    * a **size budget** (``max_bytes``): after every store, total payload
+      size is brought back under budget by deleting least-recently-used
+      entries (counted in ``stats.evictions``);
+    * an **LRU index** (``index.json`` at the cache root) mapping key →
+      ``[size, seq]`` where ``seq`` is a monotonically increasing access
+      stamp.  The index is written atomically (tmp + fsync + replace, the
+      container's crash-safety discipline) so a killed worker never
+      leaves a torn index behind.
+
+    The index is advisory, never authoritative: it is reconciled against
+    the entry files on every update, so a missing/unreadable index — or
+    one another worker clobbered — only skews the LRU order.  Entries the
+    index has never seen get access stamp 0 and are evicted first; an
+    entry evicted while a concurrent reader held its key is simply a
+    miss on that reader's next lookup.
+    """
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, root, max_bytes=None):
+        super().__init__(root)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None: unbounded)")
+        self.max_bytes = max_bytes
+
+    # -- the LRU index ---------------------------------------------------
+
+    def _index_path(self):
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def _read_index(self):
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        index = {}
+        for key, row in raw.items():
+            if (
+                isinstance(row, list)
+                and len(row) == 2
+                and all(isinstance(v, int) for v in row)
+            ):
+                index[key] = row
+        return index
+
+    def _write_index(self, index):
+        path = self._index_path()
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def _reconcile(self, index):
+        """Make the index agree with the entry files actually on disk."""
+        on_disk = {
+            os.path.basename(path)[: -len(".pkl")]: path
+            for path in self.entry_paths()
+        }
+        for key in list(index):
+            if key not in on_disk:
+                del index[key]
+        for key, path in on_disk.items():
+            if key not in index:
+                try:
+                    index[key] = [os.path.getsize(path), 0]
+                except OSError:
+                    pass
+        return index
+
+    def _touch(self, key, evict=False):
+        index = self._reconcile(self._read_index())
+        if key in index:
+            seq = 1 + max(row[1] for row in index.values())
+            index[key][1] = seq
+        if evict and self.max_bytes is not None:
+            self._evict(index, protect=key)
+        self._write_index(index)
+
+    def _evict(self, index, protect=None):
+        """Delete LRU entries until the cache fits its byte budget.
+
+        ``protect`` (the key just stored or hit) is never evicted — a
+        budget smaller than one entry must not thrash the entry it was
+        just asked to keep.
+        """
+        total = sum(row[0] for row in index.values())
+        victims = sorted(
+            (key for key in index if key != protect),
+            key=lambda key: (index[key][1], key),
+        )
+        for key in victims:
+            if total <= self.max_bytes:
+                break
+            total -= index[key][0]
+            self._discard(self._path(key))
+            del index[key]
+            self.stats.evictions += 1
+
+    # -- budget-aware lookups --------------------------------------------
+
+    def load(self, material):
+        payload = super().load(material)
+        if payload is not None:
+            self._touch(self.key_of(material))
+        return payload
+
+    def store(self, material, summaries, system, stats_dict=None):
+        key = super().store(material, summaries, system, stats_dict=stats_dict)
+        self._touch(key, evict=True)
+        return key
+
+    def usage(self):
+        """{entries, bytes, max_bytes} for the entries on disk now."""
+        index = self._reconcile(self._read_index())
+        return {
+            "entries": len(index),
+            "bytes": sum(row[0] for row in index.values()),
+            "max_bytes": self.max_bytes,
+        }

@@ -379,12 +379,20 @@ class Corpus:
     # -- adding ----------------------------------------------------------
 
     def add(self, source, name=None, config=None, entry_id=None,
-            flush_every=16):
+            flush_every=16, recorded=None, extra_manifest=None):
         """Record one failure of ``source`` and persist it as an entry.
 
         ``config`` is a :class:`~repro.core.clap.ClapConfig` (or None for
         defaults); ``flush_every`` is the streaming sink's chunk
-        granularity in tokens.  Returns the new :class:`CorpusEntry`.
+        granularity in tokens.  ``recorded`` (a
+        :class:`~repro.core.clap.RecordedExecution` of the same program
+        and config) skips the internal seed search — the sharded fleet
+        records once to learn the trace's content hash, routes it, and
+        then stores through here without repeating the search; the
+        streaming re-run and its determinism check still happen.
+        ``extra_manifest`` is a JSON-able dict merged into the manifest
+        (the fleet stamps ``{"fleet": {shard, cluster}}``).  Returns the
+        new :class:`CorpusEntry`.
         """
         if not isinstance(source, str):
             raise CorpusError(
@@ -395,7 +403,12 @@ class Corpus:
         config = config or ClapConfig()
         pipeline = ClapPipeline(program, config)
         t0 = time.monotonic()
-        recorded = pipeline.record()
+        if recorded is None:
+            recorded = pipeline.record()
+        elif recorded.bug is None:
+            raise CorpusError(
+                "refusing to store a recording with no observed failure"
+            )
         time_record = time.monotonic() - t0
 
         sha = _sha256(source)
@@ -460,12 +473,14 @@ class Corpus:
             },
             "recovered": False,
         }
+        if extra_manifest:
+            manifest.update(extra_manifest)
         entry._write_manifest(manifest)
         return entry
 
     def add_recorded(self, source, recorder, result, name=None, config=None,
                      entry_id=None, tag=None, seed=-1, provenance=None,
-                     time_record=0.0):
+                     time_record=0.0, extra_manifest=None):
         """Persist an already-recorded failing execution as an entry.
 
         This is how ``repro explore`` stores its replay-validated
@@ -546,5 +561,7 @@ class Corpus:
         }
         if provenance:
             manifest["provenance"] = provenance
+        if extra_manifest:
+            manifest.update(extra_manifest)
         entry._write_manifest(manifest)
         return entry

@@ -1,0 +1,49 @@
+"""Shared fixtures for the fleet tests: a small populated fleet."""
+
+import pytest
+
+from repro.core.clap import ClapConfig
+from repro.fleet import ShardedCorpus
+
+from tests.conftest import RACE_SRC
+
+# Always fails (a ends at 1, never 5), but main's control flow forks on
+# a racy read of `a` first — so the same program, same failure site
+# yields two distinct whole-path profiles depending on the interleaving.
+# The near-miss pair for the "similar but never merged" tests.
+NEARMISS_SRC = """
+int a = 0;
+int route = 0;
+void bump() {
+    a = a + 1;
+}
+int main() {
+    int t = 0;
+    t = spawn bump();
+    int r = a;
+    if (r == 0) {
+        route = 1;
+    } else {
+        route = 2;
+    }
+    join(t);
+    assert(a == 5);
+    return 0;
+}
+"""
+
+
+def race_variant(expected):
+    """A distinct-program variant of RACE_SRC (different content hash)."""
+    return RACE_SRC.replace("c == 4", "c == %d" % expected)
+
+
+def record_config(**overrides):
+    kwargs = dict(seeds=range(200))
+    kwargs.update(overrides)
+    return ClapConfig(**kwargs)
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    return ShardedCorpus.create(str(tmp_path / "fleet"), shards=4)

@@ -1,0 +1,235 @@
+"""Dedup clustering: the invariant that one solve serves a cluster.
+
+The load-bearing property: cluster membership requires *exact* per-thread
+whole-path-profile equality, so the representative's solved schedule
+reproduces every member's failure — and near-miss traces (same program,
+same failure site, different path profiles) are never merged, because a
+different profile can mean a different constraint system.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.fleet import FleetDispatcher
+from repro.fleet.cluster import (
+    ClusterError,
+    ClusterRegistry,
+    cluster_material,
+    cluster_signature,
+    path_multiset,
+    profile_digests,
+    profile_similarity,
+)
+from repro.runtime.events import BugReport
+
+from tests.conftest import RACE_SRC
+from tests.fleet.conftest import NEARMISS_SRC, record_config
+
+BUG = BugReport(kind="assertion", message="assert at x:9", thread="main", line=9)
+
+
+# -- signature unit properties ---------------------------------------------
+
+
+_logs = st.dictionaries(
+    st.sampled_from(["main", "t1", "t2"]),
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("enter"), st.integers(0, 7)),
+            st.tuples(st.just("path"), st.integers(0, 100)),
+            st.tuples(st.just("exit")),
+        ),
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_logs)
+def test_equal_logs_equal_signature(logs):
+    m1 = cluster_material("p" * 64, "sc", BUG, logs)
+    m2 = cluster_material("p" * 64, "sc", BUG, dict(logs))
+    assert cluster_signature(m1) == cluster_signature(m2)
+    assert profile_similarity(logs, logs) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_logs, st.integers(0, 10**6))
+def test_any_path_perturbation_changes_signature(logs, salt):
+    """Perturbing any one path token splits the cluster (never merged)."""
+    thread = sorted(logs)[0]
+    tokens = list(logs[thread])
+    path_positions = [i for i, t in enumerate(tokens) if t[0] == "path"]
+    if not path_positions:
+        tokens.append(("path", salt % 100))
+        path_positions = [len(tokens) - 1]
+        logs = dict(logs, **{thread: tokens})
+    base = cluster_signature(cluster_material("p" * 64, "sc", BUG, logs))
+    i = path_positions[salt % len(path_positions)]
+    perturbed = list(tokens)
+    perturbed[i] = ("path", tokens[i][1] + 1 + (salt % 5))
+    other = dict(logs, **{thread: perturbed})
+    assert profile_digests(logs) != profile_digests(other)
+    assert (
+        cluster_signature(cluster_material("p" * 64, "sc", BUG, other)) != base
+    )
+
+
+def test_signature_covers_program_model_and_bug():
+    logs = {"main": [("enter", 0), ("path", 3), ("exit",)]}
+    base = cluster_signature(cluster_material("p" * 64, "sc", BUG, logs))
+    for material in (
+        cluster_material("q" * 64, "sc", BUG, logs),
+        cluster_material("p" * 64, "tso", BUG, logs),
+        cluster_material(
+            "p" * 64, "sc",
+            BugReport(kind="assertion", message="assert at x:9",
+                      thread="main", line=10),
+            logs,
+        ),
+    ):
+        assert cluster_signature(material) != base
+
+
+def test_similarity_is_diagnostic_graded():
+    a = {"main": [("path", 1), ("path", 1), ("path", 2)]}
+    b = {"main": [("path", 1), ("path", 2)]}  # subset: similar, not equal
+    c = {"main": [("path", 9)]}
+    assert 0.0 < profile_similarity(a, b) < 1.0
+    assert profile_similarity(a, c) == 0.0
+    assert profile_similarity({}, {}) == 1.0
+
+
+# -- the registry ----------------------------------------------------------
+
+
+def test_registry_lifecycle(tmp_path):
+    registry = ClusterRegistry(str(tmp_path / "clusters"))
+    logs = {"main": [("path", 1)]}
+    material = cluster_material("p" * 64, "sc", BUG, logs)
+    sig = cluster_signature(material)
+    counts = ClusterRegistry.encode_path_counts(path_multiset(logs))
+    record = registry.create(
+        sig, material, {"shard": 0, "entry_id": "e1"}, path_counts=counts
+    )
+    assert record["members"][0]["validated"] is True
+    with pytest.raises(ClusterError):
+        registry.create(sig, material, {"shard": 0, "entry_id": "e1"})
+    registry.add_member(sig, {"shard": 2, "entry_id": "e2"})
+    registry.mark_solved(sig, [("main", 0), ("t1", 1)], 1, solve={"s": 1})
+    record = registry.get(sig)
+    assert record["status"] == "solved"
+    assert record["schedule"] == [["main", 0], ["t1", 1]]
+    registry.mark_member_validated(sig, "e2", True)
+    stats = registry.stats()
+    assert stats == {
+        "clusters": 1,
+        "members": 2,
+        "solved": 1,
+        "failed": 0,
+        "pending": 0,
+        "solves_avoided": 1,
+        "members_validated": 2,
+    }
+    # Path-count round-trip feeds nearest().
+    decoded = ClusterRegistry.decode_path_counts(record["path_counts"])
+    assert decoded == path_multiset(logs)
+    near_sig, sim = registry.nearest("p" * 64, path_multiset(logs))
+    assert (near_sig, sim) == (sig, 1.0)
+    assert registry.nearest("q" * 64, path_multiset(logs)) == (None, 0.0)
+
+
+# -- the end-to-end dedup-correctness property ------------------------------
+
+
+def _distinct_profile_recordings(source, name, want=2, max_seeds=400):
+    """Failing recordings of ``source`` with pairwise-distinct profiles.
+
+    Compiled under ``name`` — the name a report is stored as is part of
+    the failure's identity (it appears in the assert message the replay
+    check compares against).
+    """
+    from repro.minilang import compile_source
+
+    pipeline = ClapPipeline(compile_source(source, name=name), ClapConfig())
+    found = {}
+    for seed in range(max_seeds):
+        recorded = pipeline.record_once(seed)
+        if recorded.bug is None:
+            continue
+        digests = tuple(sorted(profile_digests(recorded.recorder.logs).items()))
+        if digests not in found:
+            found[digests] = recorded
+            if len(found) >= want:
+                break
+    return list(found.values())
+
+
+def test_same_cluster_shares_schedule_near_miss_never_merges(fleet):
+    """The satellite property, on real traces end to end.
+
+    NEARMISS_SRC fails at the same assert down two control-flow routes,
+    so seeds yield two profile classes of the *same* program and failure
+    site.  Duplicates within a class must cluster (and reproduce from
+    the one shared schedule); the two classes must never merge.
+    """
+    recordings = _distinct_profile_recordings(NEARMISS_SRC, "nearmiss", want=2)
+    assert len(recordings) == 2, "expected both racy routes to be reachable"
+    a, b = recordings
+    assert a.bug.same_failure(b.bug)  # same failure site...
+    assert profile_digests(a.recorder.logs) != profile_digests(
+        b.recorder.logs
+    )  # ...different whole-path profiles
+
+    config = ClapConfig()
+    outcomes = [
+        fleet.add_report(
+            NEARMISS_SRC, "nearmiss", config, rec.recorder.logs, rec.bug,
+            seed=rec.seed,
+        )
+        for rec in (a, b, a, b, a)  # duplicates of both classes
+    ]
+    sig_a, sig_b = outcomes[0]["cluster"], outcomes[1]["cluster"]
+    # Near-misses never merged, duplicates always deduped.
+    assert sig_a != sig_b
+    assert [o["status"] for o in outcomes] == [
+        "enqueued", "enqueued", "deduped", "deduped", "deduped",
+    ]
+    assert [o["cluster"] for o in outcomes] == [
+        sig_a, sig_b, sig_a, sig_b, sig_a,
+    ]
+    # But they are *similar* — the diagnostic sees the near-miss.
+    assert profile_similarity(a.recorder.logs, b.recorder.logs) > 0.0
+
+    # Two solves serve five reports; every member must replay its own
+    # failure from its cluster's shared schedule.
+    dispatcher = FleetDispatcher(fleet, jobs=2)
+    results, aggregate = dispatcher.drain()
+    assert len(results) == 5
+    assert all(r.ok for r in results)
+    assert aggregate["deduped"] == 3
+    registry = fleet.registry()
+    for sig in (sig_a, sig_b):
+        record = registry.get(sig)
+        assert record["status"] == "solved"
+        assert all(m["validated"] for m in record["members"])
+    stats = registry.stats()
+    assert stats["solves_avoided"] == 3
+    assert stats["members_validated"] == 5
+
+
+def test_cluster_members_hit_shared_cache(fleet):
+    """Dedup also pays off in the cache: one analysis per cluster."""
+    config = record_config()
+    fleet.add(RACE_SRC, name="race", config=config)
+    fleet.add(RACE_SRC, name="race", config=config)
+    dispatcher = FleetDispatcher(fleet, jobs=1)
+    results, aggregate = dispatcher.drain()
+    assert all(r.ok for r in results)
+    # One real solve (cache miss), the duplicate fanned out for free.
+    assert aggregate["cache"].get("misses", 0) == 1
+    assert aggregate["deduped"] == 1
+    assert fleet.shared_cache().usage()["entries"] == 1

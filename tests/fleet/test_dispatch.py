@@ -1,0 +1,91 @@
+"""FleetDispatcher: per-shard caps, failure handling, loud fan-out."""
+
+from repro.fleet import FleetDispatcher
+from repro.fleet.cluster import STATUS_SOLVED
+from repro.service.batch import format_batch_table
+
+from tests.conftest import RACE_SRC
+from tests.fleet.conftest import race_variant, record_config
+
+
+def populate(fleet, programs=3):
+    outcomes = [
+        fleet.add(RACE_SRC, name="race", config=record_config())
+    ]
+    for n in range(5, 4 + programs):
+        outcomes.append(
+            fleet.add(
+                race_variant(n), name="race%d" % n, config=record_config()
+            )
+        )
+    return outcomes
+
+
+def test_per_shard_limit_caps_each_round(fleet):
+    populate(fleet, programs=3)
+    dispatcher = FleetDispatcher(fleet, jobs=8, per_shard_limit=1)
+    claimed_shards = []
+    original_claim = dispatcher.queue.claim
+
+    def spying_claim(limit, accept=None):
+        claimed = original_claim(limit, accept=accept)
+        claimed_shards.append([job["payload"]["shard"] for job in claimed])
+        return claimed
+
+    dispatcher.queue.claim = spying_claim
+    results, aggregate = dispatcher.drain()
+    assert aggregate["reproduced"] == len(results)
+    for round_shards in claimed_shards:
+        # No round ever claims two jobs of one shard.
+        assert len(round_shards) == len(set(round_shards))
+
+
+def test_drain_marks_solved_and_completes_queue(fleet):
+    outcomes = populate(fleet, programs=2)
+    dispatcher = FleetDispatcher(fleet, jobs=2)
+    results, aggregate = dispatcher.drain()
+    assert aggregate["jobs"] == len(outcomes)
+    counts = fleet.queue().counts()
+    assert counts["pending"] == counts["active"] == 0
+    assert counts["done"] == len(outcomes)
+    for outcome in outcomes:
+        assert fleet.registry().get(outcome["cluster"])["status"] == (
+            STATUS_SOLVED
+        )
+    # Aggregate carries the fleet-level rollups the bench gates on.
+    assert "clusters" in aggregate and "shared_cache" in aggregate
+    assert aggregate["shared_cache"]["entries"] >= 1
+
+
+def test_fanout_failure_is_loud_not_silent(fleet):
+    """A schedule that does not replay a member must surface as failed."""
+    first = fleet.add(RACE_SRC, name="race", config=record_config())
+    fleet.add(RACE_SRC, name="race", config=record_config())
+    registry = fleet.registry()
+    # Sabotage: mark the cluster solved with a nonsense schedule.
+    registry.mark_solved(first["cluster"], [("no-such-thread", 0)], 0)
+    dispatcher = FleetDispatcher(fleet, jobs=1)
+    results = dispatcher.fanout()
+    assert len(results) == 1
+    assert not results[0].ok
+    assert results[0].deduped
+    record = registry.get(first["cluster"])
+    member = next(
+        m for m in record["members"]
+        if m["entry_id"] == results[0].entry_id
+    )
+    assert member["validated"] is False
+
+
+def test_batch_table_shows_shard_and_dedup_rollups(fleet):
+    populate(fleet, programs=2)
+    fleet.add(RACE_SRC, name="race", config=record_config())  # a duplicate
+    dispatcher = FleetDispatcher(fleet, jobs=2)
+    results, aggregate = dispatcher.drain()
+    table = format_batch_table(results, aggregate)
+    assert "dedup: 1 of 3 jobs" in table
+    shard_lines = [l for l in table.splitlines() if l.startswith("shard ")]
+    assert shard_lines, table
+    assert any("deduped" in line and "cache hits=" in line
+               for line in shard_lines)
+    assert "evictions=" in table

@@ -1,0 +1,210 @@
+"""Ingestion gateway: validation, TCP e2e, backpressure, graceful drain."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.fleet import (
+    FleetDispatcher,
+    IngestGateway,
+    report_from_recorded,
+    request,
+    validate_report,
+)
+from repro.fleet.gateway import GatewayError
+from repro.minilang import compile_source
+
+from tests.conftest import RACE_SRC
+from tests.fleet.conftest import race_variant, record_config
+
+
+def make_report(source, name, config=None):
+    config = config or record_config()
+    program = compile_source(source, name=name)
+    recorded = ClapPipeline(program, config).record()
+    return report_from_recorded(source, name, config, recorded)
+
+
+@pytest.fixture(scope="module")
+def race_report():
+    return make_report(RACE_SRC, "race")
+
+
+# -- validation ------------------------------------------------------------
+
+
+def test_validate_report_roundtrip(race_report):
+    source, name, config, logs, bug, stats, seed = validate_report(
+        race_report
+    )
+    assert source == RACE_SRC
+    assert name == "race"
+    assert config.memory_model == "sc"
+    assert bug.kind == "assertion"
+    assert seed == race_report["record"]["seed"]
+    assert set(logs) == set(race_report["logs"])
+    assert all(isinstance(t, tuple) for ts in logs.values() for t in ts)
+
+
+@pytest.mark.parametrize(
+    "mutate,message",
+    [
+        (lambda r: r.pop("program"), "no program source"),
+        (lambda r: r.update(format=99), "unsupported report format"),
+        (lambda r: r["program"].update(sha256="0" * 64), "claimed hash"),
+        (lambda r: r.pop("bug"), "no failure"),
+        (lambda r: r.update(logs={}), "no recorded token streams"),
+        (lambda r: r["logs"].update(main="zz"), "undecodable"),
+        (
+            lambda r: r["logs"].update(
+                main=bytes([255, 255, 255]).hex()
+            ),
+            "undecodable",
+        ),
+    ],
+)
+def test_validate_report_rejects_malformed(race_report, mutate, message):
+    report = json.loads(json.dumps(race_report))  # deep copy
+    mutate(report)
+    with pytest.raises(GatewayError, match=message):
+        validate_report(report)
+
+
+def test_ingest_counts_invalid_without_storing(fleet, race_report):
+    gateway = IngestGateway(fleet)
+    report = json.loads(json.dumps(race_report))
+    report.pop("bug")
+    outcome = gateway.ingest(report)
+    assert outcome["status"] == "invalid"
+    assert gateway.counters["invalid"] == 1
+    assert fleet.stats()["entries"] == 0
+
+
+# -- offline ingest: dedup and backpressure --------------------------------
+
+
+def test_ingest_dedups_and_reports_nearest(fleet, race_report):
+    gateway = IngestGateway(fleet)
+    first = gateway.ingest(race_report)
+    assert first["status"] == "enqueued"
+    second = gateway.ingest(race_report)
+    assert second["status"] == "deduped"
+    assert second["cluster"] == first["cluster"]
+    # A different program ingests as a new cluster; the near-miss
+    # diagnostic points at the existing similar cluster, yet no merge.
+    cousin = gateway.ingest(make_report(race_variant(5), "race5"))
+    assert cousin["status"] == "enqueued"
+    assert cousin["cluster"] != first["cluster"]
+    assert gateway.counters == {
+        "ingested": 3, "enqueued": 2, "deduped": 1, "rejected": 0,
+        "invalid": 0,
+    }
+
+
+def test_backpressure_rejects_novel_accepts_dedup(fleet, race_report):
+    gateway = IngestGateway(fleet, max_queue_depth=1)
+    assert gateway.ingest(race_report)["status"] == "enqueued"
+    # Queue is at depth 1: novel work bounces...
+    novel = gateway.ingest(make_report(race_variant(5), "race5"))
+    assert novel["status"] == "rejected"
+    assert "queue full" in novel["reason"]
+    # ...but an equivalent report is free (no new solve) and lands.
+    assert gateway.ingest(race_report)["status"] == "deduped"
+    assert fleet.stats()["entries"] == 2  # the rejected one was not stored
+    assert fleet.queue().depth() == 1
+
+
+def test_accepted_reports_survive_restart(fleet, race_report):
+    """Durability: an accepted report's solve job outlives the gateway."""
+    IngestGateway(fleet).ingest(race_report)
+    # A fresh gateway/queue over the same root still sees the job.
+    from repro.fleet import ShardedCorpus
+
+    reopened = ShardedCorpus.open(fleet.root)
+    assert reopened.queue().depth() == 1
+    results, aggregate = FleetDispatcher(reopened, jobs=1).drain()
+    assert aggregate["reproduced"] == len(results) == 1
+
+
+# -- the TCP server --------------------------------------------------------
+
+
+class GatewayThread:
+    """Runs gateway.serve() on its own event loop in a thread."""
+
+    def __init__(self, gateway):
+        self.gateway = gateway
+        self.drained = None
+        ready = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, args=(ready,), daemon=True
+        )
+        self.thread.start()
+        assert ready.wait(10), "gateway did not start"
+        self.address = gateway.address
+
+    def _run(self, ready):
+        self.drained = asyncio.run(self.gateway.serve(ready=ready))
+
+    def shutdown(self):
+        request(self.address, {"op": "shutdown"})
+        self.thread.join(timeout=60)
+        assert not self.thread.is_alive()
+        return self.drained
+
+
+def test_tcp_end_to_end_with_graceful_drain(fleet, race_report):
+    dispatcher = FleetDispatcher(fleet, jobs=2)
+    gateway = IngestGateway(fleet, dispatcher=dispatcher)
+    server = GatewayThread(gateway)
+
+    assert request(server.address, {"op": "ping"})["ok"]
+    assert not request(server.address, {"op": "bogus"})["ok"]
+    bad = request(server.address, {"op": "ingest", "report": {"x": 1}})
+    assert bad["status"] == "invalid"
+
+    outcomes = [
+        request(server.address, {"op": "ingest", "report": race_report})
+        for _ in range(3)
+    ]
+    assert [o["status"] for o in outcomes] == [
+        "enqueued", "deduped", "deduped",
+    ]
+    stats = request(server.address, {"op": "stats"})["stats"]
+    assert stats["entries"] == 3
+    assert stats["clusters"]["solves_avoided"] == 2
+    assert stats["gateway"]["ingested"] == 3
+
+    # Shutdown closes the listener and drains the queue before returning:
+    # one solve, two fan-outs, everything reproduced.
+    results, aggregate = server.shutdown()
+    assert len(results) == 3
+    assert aggregate["reproduced"] == 3
+    assert aggregate["deduped"] == 2
+    assert aggregate["clusters"]["solved"] == 1
+    assert all(
+        m["validated"]
+        for m in fleet.registry().get(outcomes[0]["cluster"])["members"]
+    )
+    # The listener is really gone.
+    with pytest.raises(OSError):
+        request(server.address, {"op": "ping"}, timeout=2.0)
+
+
+def test_tcp_drain_op(fleet, race_report):
+    dispatcher = FleetDispatcher(fleet, jobs=1)
+    gateway = IngestGateway(fleet, dispatcher=dispatcher)
+    server = GatewayThread(gateway)
+    try:
+        request(server.address, {"op": "ingest", "report": race_report})
+        response = request(
+            server.address, {"op": "drain"}, timeout=300.0
+        )
+        assert response["ok"]
+        assert response["aggregate"]["reproduced"] == 1
+        assert response["results"][0]["status"] == "reproduced"
+    finally:
+        server.shutdown()

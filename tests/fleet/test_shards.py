@@ -1,0 +1,154 @@
+"""ShardedCorpus: content-hash routing, manifests, dedup, rebalance."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import FleetError, ShardedCorpus, report_from_entry
+from repro.fleet.cluster import STATUS_PENDING
+from repro.store.corpus import Corpus
+
+from tests.conftest import RACE_SRC
+from tests.fleet.conftest import race_variant, record_config
+
+
+def test_create_open_roundtrip(tmp_path):
+    root = str(tmp_path / "f")
+    created = ShardedCorpus.create(root, shards=3, cache_max_bytes=12345)
+    opened = ShardedCorpus.open(root)
+    assert opened.n_shards == 3
+    assert opened.config["cache_max_bytes"] == 12345
+    with pytest.raises(FleetError):
+        ShardedCorpus.create(root)  # already a fleet
+    with pytest.raises(FleetError):
+        ShardedCorpus.open(str(tmp_path / "nope"))
+    assert created.shard(0).root == opened.shard(0).root
+
+
+def test_routing_is_deterministic_and_in_range(fleet):
+    fp = "ab" * 32
+    assert fleet.shard_of(fp) == fleet.shard_of(fp)
+    for n in range(64):
+        assert 0 <= fleet.shard_of("%064x" % (n * 2654435761)) < 4
+
+
+def test_add_routes_dedups_and_enqueues(fleet):
+    config = record_config()
+    first = fleet.add(RACE_SRC, name="race", config=config)
+    assert first["status"] == "enqueued"
+    assert first["job_id"] is not None
+    second = fleet.add(RACE_SRC, name="race", config=config)
+    assert second["status"] == "deduped"
+    assert second["job_id"] is None
+    # Identical trace -> identical fingerprint -> same shard and cluster.
+    assert second["shard"] == first["shard"]
+    assert second["cluster"] == first["cluster"]
+    assert second["entry_id"] != first["entry_id"]
+    # Exactly one solve job for the two reports.
+    assert fleet.queue().depth() == 1
+    record = fleet.registry().get(first["cluster"])
+    assert record["status"] == STATUS_PENDING
+    assert len(record["members"]) == 2
+    # The shard is a perfectly normal corpus underneath.
+    shard = Corpus.open(fleet.shard_root(first["shard"]))
+    stored = shard.entry(first["entry_id"]).load_execution()
+    assert stored.bug is not None
+    # The entry manifest carries the fleet stamp.
+    manifest = shard.entry(first["entry_id"]).manifest
+    assert manifest["fleet"]["shard"] == first["shard"]
+    assert manifest["fleet"]["cluster"] == first["cluster"]
+    assert manifest["fleet"]["fingerprint"] == first["fingerprint"]
+
+
+def test_add_report_matches_local_add_cluster(fleet):
+    outcome = fleet.add(RACE_SRC, name="race", config=record_config())
+    shard = fleet.shard(outcome["shard"])
+    report = report_from_entry(shard.entry(outcome["entry_id"]))
+    from repro.fleet.gateway import validate_report
+
+    source, name, config, logs, bug, stats, seed = validate_report(report)
+    again = fleet.add_report(
+        source, name, config, logs, bug, stats=stats, seed=seed
+    )
+    # Re-ingesting a stored entry's report lands in the same cluster and
+    # shard: the wire format round-trips the content hash faithfully.
+    assert again["status"] == "deduped"
+    assert again["shard"] == outcome["shard"]
+    assert again["cluster"] == outcome["cluster"]
+    assert again["fingerprint"] == outcome["fingerprint"]
+
+
+def test_distinct_programs_distinct_clusters(fleet):
+    a = fleet.add(RACE_SRC, name="race", config=record_config())
+    b = fleet.add(race_variant(5), name="race5", config=record_config())
+    assert a["cluster"] != b["cluster"]
+    assert fleet.queue().depth() == 2
+    stats = fleet.registry().stats()
+    assert stats["clusters"] == 2
+    assert stats["solves_avoided"] == 0
+
+
+def test_shard_manifest_self_heals(fleet):
+    outcome = fleet.add(RACE_SRC, name="race", config=record_config())
+    index = outcome["shard"]
+    manifest_path = fleet._shard_manifest_path(index)
+    os.remove(manifest_path)
+    manifest = fleet.shard_manifest(index)
+    row = manifest["entries"][outcome["entry_id"]]
+    assert row["fingerprint"] == outcome["fingerprint"]
+    assert row["cluster"] == outcome["cluster"]
+    assert row["program"] == "race"
+    # Garbage in the manifest file also heals.
+    with open(manifest_path, "w") as fh:
+        fh.write("{broken")
+    assert fleet.shard_manifest(index)["entries"] == manifest["entries"]
+
+
+def test_stats_shape(fleet):
+    fleet.add(RACE_SRC, name="race", config=record_config())
+    fleet.add(RACE_SRC, name="race", config=record_config())
+    stats = fleet.stats()
+    assert stats["entries"] == 2
+    assert sum(s["entries"] for s in stats["shards"]) == 2
+    assert stats["trace_bytes"] > 0
+    assert stats["clusters"]["members"] == 2
+    assert stats["clusters"]["solves_avoided"] == 1
+    assert stats["queue"]["pending"] == 1
+    assert stats["cache"]["entries"] == 0
+
+
+def test_rebalance_moves_entries_and_updates_registry(fleet):
+    outcomes = [
+        fleet.add(RACE_SRC, name="race", config=record_config()),
+        fleet.add(race_variant(5), name="race5", config=record_config()),
+        fleet.add(race_variant(6), name="race6", config=record_config()),
+    ]
+    before_ids = sorted(e.entry_id for _s, e in fleet.entries())
+    summary = fleet.rebalance(shards=7)
+    assert summary["shards"] == 7
+    assert summary["entries"] == 3
+    reopened = ShardedCorpus.open(fleet.root)
+    assert reopened.n_shards == 7
+    assert sorted(e.entry_id for _s, e in reopened.entries()) == before_ids
+    registry = reopened.registry()
+    for outcome in outcomes:
+        record = registry.get(outcome["cluster"])
+        for ref in [record["representative"], *record["members"]]:
+            # Every registry reference resolves in its claimed new shard.
+            entry = reopened.shard(ref["shard"]).entry(ref["entry_id"])
+            info = entry.manifest["fleet"]
+            assert info["shard"] == ref["shard"]
+            assert reopened.shard_of(info["fingerprint"]) == ref["shard"]
+    # Rebalancing back to the original count restores the placement.
+    reopened.rebalance(shards=4)
+    for outcome in outcomes:
+        assert any(
+            e.entry_id == outcome["entry_id"] and s == outcome["shard"]
+            for s, e in reopened.entries()
+        )
+
+
+def test_rebalance_rejects_bad_count(fleet):
+    with pytest.raises(FleetError):
+        fleet.rebalance(shards=0)
