@@ -1,0 +1,338 @@
+"""Flight-recorder performance and reproduction gates.
+
+Three sections, rendered to ``results/recorder_bench.txt`` and
+machine-readable as ``results/BENCH_recorder.json`` (uploaded by the CI
+``recorder`` job):
+
+* **fast_path** — the fast-path encoder vs the reference recorder on a
+  captured hook-event tape.  Full interpreter wall clock is dominated by
+  interpretation, so the recorders replay the identical event stream
+  (Table-2 programs at production scale) and only the hook bodies are
+  timed.  The CI gate fails when the aggregate speedup drops below
+  ``GATE_MIN_SPEEDUP``; both recorders must produce identical token
+  streams and op counts.
+* **table1_ring** — every Table-1 bug recorded through the ring pipeline
+  with a full budget (nothing evicted) must still reproduce offline.
+* **eviction** — the ``flight`` benchmark under shrinking budgets: small
+  rings must genuinely evict the loop prefix and the bug must still
+  reproduce from the suffix via prefix synthesis (the tentpole gate:
+  at least one reproduction from an evicted log).
+"""
+
+import json
+import os
+import time
+from types import SimpleNamespace
+
+from repro.bench.programs import TABLE1_NAMES, TABLE2_NAMES, get_benchmark
+from repro.core.clap import ClapConfig, ClapPipeline
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.scheduler import RandomScheduler
+from repro.tracing.recorder import FastPathRecorder, PathRecorder
+
+from conftest import emit
+
+# Measured headroom: the fast path lands 1.2-1.4x on the replay
+# microbenchmark (min-of-5 batches); 1.05x tolerates noisy runners.
+GATE_MIN_SPEEDUP = 1.05
+REPLAY_REPEATS = 10
+REPLAY_ROUNDS = 5
+
+# Production-scale parameterizations: long enough that hook costs
+# dominate the replay, same programs as Table 2.
+FASTPATH_PARAMS = {
+    "sim_race": {"workers": 4, "iters": 400},
+    "bbuf": {"producers": 2, "consumers": 2, "items_each": 80},
+    "swarm": {"cells": 256},
+    "pbzip2": {"consumers": 2, "items": 150},
+    "aget": {"workers": 3, "chunks": 300},
+    "pfscan": {"workers": 2, "chunk": 512, "unroll": 4},
+    "apache": {"listeners": 2, "workers": 2, "requests_each": 100},
+    "racey": {"loops": 600, "cells": 16},
+}
+
+FULL_RING = dict(ring_bytes=1 << 20, ring_segment_bytes=256)
+# flight at iters=10 overflows a 40-byte ring by ~27 tokens per worker.
+EVICTION_RINGS = ((40, 16), (64, 16), (1 << 20, 256))
+
+_PAYLOAD = {}
+
+
+class HookTape:
+    """Capture one run's control-flow hook events for offline replay."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_thread_start(self, thread):
+        self.events.append(("on_thread_start", thread.name))
+
+    def on_enter(self, thread, func_name):
+        self.events.append(("on_enter", thread.name, func_name))
+
+    def on_edge(self, thread, func_name, src, dst):
+        self.events.append(("on_edge", thread.name, func_name, src, dst))
+
+    def on_exit(self, thread, func_name, exit_block):
+        self.events.append(("on_exit", thread.name, func_name, exit_block))
+
+
+def _capture(bench, program, seed=0):
+    tape = HookTape()
+    interp = Interpreter(
+        program,
+        memory_model=bench.memory_model,
+        scheduler=RandomScheduler(
+            seed, stickiness=bench.stickiness, flush_prob=bench.flush_prob
+        ),
+        hooks=[tape],
+        max_steps=bench.max_steps,
+        collect_events=False,
+    )
+    interp.run()
+    return tape.events, interp
+
+
+def _replay(recorder, events):
+    # Fresh thread stand-ins each replay: the fast recorder's identity
+    # cache keys on the thread object, and real threads start only once.
+    fakes = {e[1]: SimpleNamespace(name=e[1]) for e in events}
+    t0 = time.perf_counter()
+    for ev in events:
+        kind = ev[0]
+        if kind == "on_edge":
+            recorder.on_edge(fakes[ev[1]], ev[2], ev[3], ev[4])
+        elif kind == "on_enter":
+            recorder.on_enter(fakes[ev[1]], ev[2])
+        elif kind == "on_exit":
+            recorder.on_exit(fakes[ev[1]], ev[2], ev[3])
+        else:
+            recorder.on_thread_start(fakes[ev[1]])
+    return time.perf_counter() - t0
+
+
+def test_fast_path_speedup():
+    rows = []
+    total_classic = total_fast = 0.0
+    for name in TABLE2_NAMES:
+        bench = get_benchmark(name, **FASTPATH_PARAMS[name])
+        program = bench.compile()
+        events, interp = _capture(bench, program)
+        # Equivalence on one clean replay (op counters accumulate across
+        # replays, so the timed multi-replay recorders can't be compared).
+        classic = PathRecorder(program)
+        fast = FastPathRecorder(program)
+        _replay(classic, events)
+        _replay(fast, events)
+        classic.finalize(interp)
+        fast.finalize(interp)
+        assert classic.logs == fast.logs, name
+        assert classic.instrumentation_ops == fast.instrumentation_ops, name
+        classic_times, fast_times = [], []
+        for _ in range(REPLAY_ROUNDS):
+            classic = PathRecorder(program)
+            fast = FastPathRecorder(program)
+            classic_times.append(
+                sum(_replay(classic, events) for _ in range(REPLAY_REPEATS))
+            )
+            fast_times.append(
+                sum(_replay(fast, events) for _ in range(REPLAY_REPEATS))
+            )
+        wc, wf = min(classic_times), min(fast_times)
+        total_classic += wc
+        total_fast += wf
+        rows.append(
+            {
+                "name": name,
+                "events": len(events),
+                "classic_ms": round(wc * 1000, 3),
+                "fast_ms": round(wf * 1000, 3),
+                "speedup": round(wc / wf, 2),
+            }
+        )
+    speedup = total_classic / total_fast
+    _PAYLOAD["fast_path"] = {
+        "replay_repeats": REPLAY_REPEATS,
+        "rounds": REPLAY_ROUNDS,
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "total_classic_ms": round(total_classic * 1000, 3),
+        "total_fast_ms": round(total_fast * 1000, 3),
+        "speedup": round(speedup, 2),
+        "rows": rows,
+    }
+    assert total_fast < total_classic, (
+        "fast-path recorder slower than reference: %.1fms vs %.1fms"
+        % (total_fast * 1000, total_classic * 1000)
+    )
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        "fast-path speedup %.2fx below %.2fx gate"
+        % (speedup, GATE_MIN_SPEEDUP)
+    )
+
+
+def _ring_reproduce(bench, **ring_kw):
+    """Record through the ring pipeline and reproduce offline."""
+    kw = bench.config_kwargs()
+    kw.update(ring_kw)
+    pipeline = ClapPipeline(bench.compile(), ClapConfig(**kw))
+    recorded = pipeline.record()
+    assert recorded is not None, "%s: bug did not trigger" % bench.name
+    t0 = time.monotonic()
+    report = pipeline.reproduce_offline(recorded)
+    return recorded, report, time.monotonic() - t0
+
+
+def test_table1_through_full_ring():
+    """Full-budget rings are lossless: all Table-1 bugs reproduce."""
+    rows = []
+    for name in TABLE1_NAMES:
+        bench = get_benchmark(name)
+        recorded, report, seconds = _ring_reproduce(bench, **FULL_RING)
+        assert not recorded.lossy, name
+        assert report.reproduced, name
+        assert report.recorder_metrics["segments_evicted"] == 0, name
+        rows.append(
+            {
+                "name": name,
+                "reproduced": report.reproduced,
+                "segments_written": report.recorder_metrics[
+                    "segments_written"
+                ],
+                "bytes_retained": report.recorder_metrics["bytes_retained"],
+                "offline_seconds": round(seconds, 3),
+            }
+        )
+    _PAYLOAD["table1_ring"] = {"ring": FULL_RING, "rows": rows}
+
+
+def test_reproduction_from_evicted_suffix():
+    """The tentpole gate: shrink the ring until the loop prefix is
+    genuinely evicted and reproduce from the suffix alone."""
+    bench = get_benchmark("flight", iters=10)
+    rows = []
+    evicted_reproductions = 0
+    for ring_bytes, segment_bytes in EVICTION_RINGS:
+        recorded, report, seconds = _ring_reproduce(
+            bench, ring_bytes=ring_bytes, ring_segment_bytes=segment_bytes
+        )
+        metrics = report.recorder_metrics
+        evicted = sum(
+            t["evicted_tokens"] for t in metrics["threads"].values()
+        )
+        assert report.reproduced, "ring=%d" % ring_bytes
+        if recorded.lossy:
+            assert evicted > 0
+            assert report.synthesis, "lossy run must synthesize"
+            assert all(
+                t["residual_tokens"] == 0
+                for t in report.synthesis.values()
+            )
+            evicted_reproductions += 1
+        rows.append(
+            {
+                "ring_bytes": ring_bytes,
+                "segment_bytes": segment_bytes,
+                "lossy": recorded.lossy,
+                "evicted_tokens": evicted,
+                "bytes_retained": metrics["bytes_retained"],
+                "bytes_total": metrics["bytes_total"],
+                "synth_blocks": sum(
+                    t["synth_blocks"] for t in report.synthesis.values()
+                ),
+                "reproduced": report.reproduced,
+                "offline_seconds": round(seconds, 3),
+            }
+        )
+    _PAYLOAD["eviction"] = {
+        "benchmark": "flight",
+        "iters": 10,
+        "evicted_reproductions": evicted_reproductions,
+        "rows": rows,
+    }
+    assert evicted_reproductions >= 1, (
+        "no reproduction from a genuinely evicted log"
+    )
+
+
+def test_recorder_render():
+    missing = [
+        k for k in ("fast_path", "table1_ring", "eviction") if k not in _PAYLOAD
+    ]
+    assert not missing, "sections missing (run the whole module): %s" % missing
+
+    fp = _PAYLOAD["fast_path"]
+    lines = [
+        "Flight recorder: fast-path encoder + ring reproduction",
+        "",
+        "fast path (hook-tape replay x%d, min of %d rounds)"
+        % (fp["replay_repeats"], fp["rounds"]),
+        "%-10s %8s %12s %12s %8s"
+        % ("program", "events", "classic (ms)", "fast (ms)", "speedup"),
+    ]
+    for r in fp["rows"]:
+        lines.append(
+            "%-10s %8d %12.2f %12.2f %7.2fx"
+            % (r["name"], r["events"], r["classic_ms"], r["fast_ms"], r["speedup"])
+        )
+    lines.append(
+        "%-10s %8s %12.2f %12.2f %7.2fx  (gate >= %.2fx)"
+        % (
+            "TOTAL",
+            "",
+            fp["total_classic_ms"],
+            fp["total_fast_ms"],
+            fp["speedup"],
+            fp["gate_min_speedup"],
+        )
+    )
+    lines += [
+        "",
+        "table 1 through full-budget ring (lossless)",
+        "%-10s %9s %10s %9s  %s"
+        % ("program", "segments", "retained", "offl (s)", "repro"),
+    ]
+    for r in _PAYLOAD["table1_ring"]["rows"]:
+        lines.append(
+            "%-10s %9d %9dB %9.2f  %s"
+            % (
+                r["name"],
+                r["segments_written"],
+                r["bytes_retained"],
+                r["offline_seconds"],
+                "yes" if r["reproduced"] else "NO",
+            )
+        )
+    lines += [
+        "",
+        "reproduction from evicted suffix (flight, iters=10)",
+        "%9s %8s %8s %10s %7s %7s  %s"
+        % ("ring", "evicted", "synth", "retained", "lossy", "offl", "repro"),
+    ]
+    for r in _PAYLOAD["eviction"]["rows"]:
+        ring = (
+            "%dB" % r["ring_bytes"]
+            if r["ring_bytes"] < 1 << 16
+            else "unbounded"
+        )
+        lines.append(
+            "%9s %8d %8d %5d/%-4d %7s %6.2fs  %s"
+            % (
+                ring,
+                r["evicted_tokens"],
+                r["synth_blocks"],
+                r["bytes_retained"],
+                r["bytes_total"],
+                "yes" if r["lossy"] else "no",
+                r["offline_seconds"],
+                "yes" if r["reproduced"] else "NO",
+            )
+        )
+    emit("recorder_bench.txt", "\n".join(lines))
+
+    results_dir = os.path.join(os.path.dirname(__file__), "..", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_recorder.json")
+    with open(path, "w") as fh:
+        json.dump(_PAYLOAD, fh, indent=2)
+        fh.write("\n")
+    print("[saved to %s]" % path)

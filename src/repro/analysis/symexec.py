@@ -70,6 +70,11 @@ class SymSAP:
     value: SymExpr | None = None  # write: stored expr; read: its Sym
     line: int = 0
     deps: frozenset = frozenset()  # read-Sym names this SAP depends on
+    # Emitted while executing a synthesized prefix (flight-recorder logs):
+    # the access happened before the eviction horizon, so the encoder
+    # relaxes its constraints — a synth read's value stays unconstrained
+    # when no writer is chosen for it ("unknown entry state").
+    synth: bool = False
 
     @property
     def uid(self):
@@ -100,6 +105,9 @@ class PathCondition:
     thread: str
     after_index: int  # index of the last SAP emitted before this condition
     line: int = 0
+    # Condition from a synthesized prefix block: the branch direction was
+    # reconstructed, not recorded, so the encoder must not require it.
+    synth: bool = False
 
     def __repr__(self):
         return "PathCondition(%s after %s#%d: %r)" % (
@@ -145,6 +153,9 @@ class _Frame:
         self.locals = {}
         self.stack = []
         self.call_pos = 0  # next callee trace to consume
+        # True when the whole activation is synthesized (or was entered
+        # from inside a synthesized region of the caller).
+        self.synth_all = trace.synthesized
 
     @property
     def block_id(self):
@@ -193,6 +204,9 @@ class SymbolicExecutor:
         self.local_cells = {}
         self.array_overlays = {}  # array name -> list[(idx_expr, val_expr)]
         self._spawn_args = {}  # child name -> concrete args
+        # True while the current position is inside a synthesized prefix
+        # region; kept in sync with the top frame by _sync_synth.
+        self._in_synth = False
 
         for info in program.symbols.globals.values():
             if not info.is_data or info.name in shared:
@@ -220,6 +234,7 @@ class SymbolicExecutor:
             value=value,
             line=line,
             deps=frozenset(deps) | frozenset(self.control_deps),
+            synth=self._in_synth,
         )
         self.sap_count += 1
         self.summary.saps.append(sap)
@@ -229,6 +244,12 @@ class SymbolicExecutor:
         expr = wrap(expr)
         if isinstance(expr, Const):
             if not expr.value:
+                if self._in_synth:
+                    # A synthesized prefix is a candidate reconstruction,
+                    # not a recorded fact; a concretely false branch there
+                    # means the candidate is imperfect, which replay
+                    # validation will judge — it is not log corruption.
+                    return None
                 self.error(
                     "recorded path is inconsistent: concrete condition is false"
                 )
@@ -238,10 +259,20 @@ class SymbolicExecutor:
             thread=self.thread,
             after_index=self.sap_count - 1,
             line=line,
+            synth=self._in_synth,
         )
         self.summary.conditions.append(cond)
         self.control_deps |= free_syms(expr)
         return cond
+
+    def _sync_synth(self, frames):
+        if not frames:
+            self._in_synth = False
+            return
+        frame = frames[-1]
+        self._in_synth = (
+            frame.synth_all or frame.block_pos < frame.trace.synth_blocks
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -257,6 +288,7 @@ class SymbolicExecutor:
                     wrap(value) if not isinstance(value, ThreadHandle) else value
                 )
             frames = [root]
+        self._sync_synth(frames)
         while frames:
             frame = frames[-1]
             outcome = self._run_frame_step(frame, frames)
@@ -339,13 +371,16 @@ class SymbolicExecutor:
                     )
                 frame.ip += 1  # return point
                 child = _Frame(child_trace, self.program.function(callee_name))
+                child.synth_all = child.synth_all or self._in_synth
                 for pname, value in zip(child.func.params, args):
                     child.locals[pname] = value
                 frames.append(child)
+                self._sync_synth(frames)
                 return "call"
             if op == bc.RET:
                 value = frame.stack.pop()
                 frames.pop()
+                self._sync_synth(frames)
                 if frames:
                     frames[-1].stack.append(value)
                     return "ret"
@@ -365,6 +400,8 @@ class SymbolicExecutor:
                 % (frame.func.name, expected_from)
             )
         frame.ip = 0
+        if not frame.synth_all:
+            self._in_synth = frame.block_pos < frame.trace.synth_blocks
 
     def _exec_terminator(self, frame, instr):
         if instr.op == bc.JUMP:
@@ -632,7 +669,7 @@ class SymbolicExecutor:
         # the failing one.
         if not isinstance(cond, Const):
             self.add_condition(cond, line=instr.line)
-        elif not cond.value and not self._matches_bug(instr.line):
+        elif not cond.value and not self._matches_bug(instr.line) and not self._in_synth:
             self.error("recorded path has a concretely failing assert", instr)
 
     def _matches_bug(self, line):

@@ -763,6 +763,60 @@ int main() {
 
 
 # --------------------------------------------------------------------------
+# flight — long call-in-loop prelude, race at the very end
+# --------------------------------------------------------------------------
+
+
+def flight(iters=40):
+    """Flight-recorder stress benchmark.
+
+    Each worker runs a long loop that *calls* a helper every iteration —
+    the ``enter``/``exit`` tokens defeat the encoder's run-length folding,
+    so a bounded ring genuinely evicts the loop's prefix (a straight-line
+    loop like ``sim_race``'s folds into one REPEAT record and never
+    fills a ring).  The racy accesses sit after the loop, in the retained
+    suffix; reproducing the failure from a small ring exercises anchored
+    suffix decoding plus prefix synthesis end to end.
+    """
+    source = """
+int x = 0;
+int y = 0;
+
+void bump(int id) {
+    int a = x;
+    x = a + id;
+}
+
+void worker(int id) {
+    for (int i = 0; i < %d; i++) {
+        bump(id);
+    }
+    int b = y;
+    bump(id);
+    y = b + id;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn worker(1);
+    t1 = spawn worker(2);
+    join(t0);
+    join(t1);
+    assert(y == 3);
+    return 0;
+}
+""" % iters
+    return BenchProgram(
+        name="flight",
+        source=source,
+        description="call-heavy loop prelude with an end-of-run race",
+        stickiness=0.2,
+        params={"iters": iters},
+    )
+
+
+# --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
@@ -779,6 +833,7 @@ _BUILDERS = {
     "dekker": dekker,
     "peterson": peterson,
     "figure2": figure2,
+    "flight": flight,
 }
 
 BENCHMARK_NAMES = tuple(_BUILDERS)

@@ -68,6 +68,8 @@ def cmd_record(args):
         seeds=range(args.max_seeds),
         stickiness=args.stickiness,
         flush_prob=args.flush_prob,
+        ring_bytes=args.ring_bytes,
+        ring_segment_bytes=args.ring_segment_bytes,
     )
     pipeline = ClapPipeline(program, config)
     recorded = pipeline.record()
@@ -79,6 +81,29 @@ def cmd_record(args):
         print("thread %-8s %5d bytes" % (thread, len(data)))
         total += len(data)
     print("total log: %d bytes" % total)
+    if recorded.ring:
+        print(
+            "ring: budget %dB/thread, segment %dB%s"
+            % (
+                recorded.ring["ring_bytes"],
+                recorded.ring["segment_bytes"],
+                "  [lossy]" if recorded.lossy else "",
+            )
+        )
+        for thread, info in sorted(recorded.ring["threads"].items()):
+            print(
+                "  %-8s retained %d/%d tokens (%d/%d bytes), "
+                "%d segments evicted, %d flushes"
+                % (
+                    thread,
+                    info["retained_tokens"],
+                    info["total_tokens"],
+                    info["retained_bytes"],
+                    info["total_bytes"],
+                    info["segments_evicted"],
+                    info["flushes"],
+                )
+            )
     if args.out:
         payload = {t: data.hex() for t, data in logs.items()}
         with open(args.out, "w") as fh:
@@ -100,7 +125,7 @@ def _profile_phases(report):
 
 def _report_payload(report):
     """The machine-readable form of a ClapReport for ``--json``."""
-    return {
+    payload = {
         "program": report.program_name,
         "memory_model": report.memory_model,
         "solver": report.solver,
@@ -122,6 +147,12 @@ def _report_payload(report):
         "cache_stats": report.cache_stats,
         "schedule": ["%s#%d" % uid for uid in report.schedule],
     }
+    if report.recorder_metrics:
+        payload["lossy"] = report.lossy
+        payload["recorder"] = report.recorder_metrics
+        if report.synthesis:
+            payload["synthesis"] = report.synthesis
+    return payload
 
 
 def cmd_reproduce(args):
@@ -138,6 +169,8 @@ def cmd_reproduce(args):
         portfolio_workers=args.portfolio_workers,
         static_prune=args.static_prune,
         symexec_workers=args.symexec_workers,
+        ring_bytes=args.ring_bytes,
+        ring_segment_bytes=args.ring_segment_bytes,
     )
     report = ClapPipeline(program, config).reproduce()
     if args.json:
@@ -163,6 +196,34 @@ def cmd_reproduce(args):
         for phase, seconds in _profile_phases(report):
             print("  %-8s %8.3fs" % (phase, seconds))
         print("  cache    %8s" % report.cache_state)
+    if report.recorder_metrics:
+        metrics = report.recorder_metrics
+        print(
+            "recorder     : ring %dB/thread, %d segments written, "
+            "%d evicted, %d/%d bytes retained, %d flushes%s"
+            % (
+                metrics.get("ring_bytes") or 0,
+                metrics.get("segments_written", 0),
+                metrics.get("segments_evicted", 0),
+                metrics.get("bytes_retained", 0),
+                metrics.get("bytes_total", 0),
+                metrics.get("flushes", 0),
+                "  [lossy]" if report.lossy else "",
+            )
+        )
+        for thread, synth in sorted(report.synthesis.items()):
+            print(
+                "  synthesized %-8s %d blocks, %d calls, %d padding "
+                "cycles (%d/%d evicted tokens accounted)"
+                % (
+                    thread,
+                    synth["synth_blocks"],
+                    synth["synth_calls"],
+                    synth["padding_cycles"],
+                    synth["accounted_tokens"],
+                    synth["evicted_tokens"],
+                )
+            )
     detail = report.solver_detail
     sat = detail.get("sat_stats")
     if sat:
@@ -323,12 +384,20 @@ def cmd_trace(args):
         seeds=range(args.max_seeds),
         stickiness=args.stickiness,
         flush_prob=args.flush_prob,
+        ring_bytes=args.ring_bytes,
+        ring_segment_bytes=args.ring_segment_bytes,
     )
     pipeline = ClapPipeline(program, config)
     recorded = pipeline.record() if args.buggy else pipeline.record_once(args.seed)
-    decoded = decode_log(recorded.recorder)
+    if recorded.ring:
+        decoded, _ = pipeline._decode_ring(
+            recorded, recorded.ring, recorded.lossy
+        )
+    else:
+        decoded = decode_log(recorded.recorder)
 
     if args.json:
+        ring_threads = (recorded.ring or {}).get("threads", {})
         threads = {}
         for thread, tokens in sorted(recorded.recorder.logs.items()):
             raw = recorded.recorder.encoded_logs()[thread]
@@ -342,18 +411,32 @@ def cmd_trace(args):
                 if raw
                 else 1.0,
             }
-        print(
-            json.dumps(
-                {
-                    "program": program.name,
-                    "seed": recorded.seed,
-                    "bug": str(recorded.bug) if recorded.bug else None,
-                    "threads": threads,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+            info = ring_threads.get(thread)
+            if info is not None:
+                threads[thread]["ring"] = {
+                    "lossy": info["evicted_tokens"] > 0,
+                    "evicted_tokens": info["evicted_tokens"],
+                    "evicted_bytes": info["evicted_bytes"],
+                    "segments_written": info["segments_written"],
+                    "segments_evicted": info["segments_evicted"],
+                    "flushes": info["flushes"],
+                    "retained_bytes": info["retained_bytes"],
+                    "total_bytes": info["total_bytes"],
+                    "anchor": info["anchor"].to_json(),
+                }
+        payload = {
+            "program": program.name,
+            "seed": recorded.seed,
+            "bug": str(recorded.bug) if recorded.bug else None,
+            "threads": threads,
+        }
+        if recorded.ring:
+            payload["ring"] = {
+                "ring_bytes": recorded.ring["ring_bytes"],
+                "segment_bytes": recorded.ring["segment_bytes"],
+                "lossy": recorded.lossy,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     def show(node, depth):
@@ -361,6 +444,12 @@ def cmd_trace(args):
             node.stop_block,
             node.stop_ip,
         )
+        if node.synthesized:
+            flag += "  [synthesized]"
+        elif node.synth_blocks:
+            flag += "  [first %d blocks synthesized]" % node.synth_blocks
+        if node.anchored:
+            flag += "  [anchored]"
         print("%s%s: blocks %s%s" % ("  " * depth, node.func, node.blocks, flag))
         for child in node.calls:
             show(child, depth + 1)
@@ -412,6 +501,8 @@ def cmd_corpus_add(args):
         seeds=range(args.max_seeds),
         stickiness=args.stickiness,
         flush_prob=args.flush_prob,
+        ring_bytes=args.ring_bytes,
+        ring_segment_bytes=args.ring_segment_bytes,
     )
     corpus = Corpus.open_or_create(args.corpus)
     entry = corpus.add(
@@ -429,6 +520,17 @@ def cmd_corpus_add(args):
             os.path.getsize(entry.trace_path),
         )
     )
+    ring = entry.manifest.get("ring")
+    if ring:
+        print(
+            "  ring: %dB/thread budget%s"
+            % (
+                ring.get("ring_bytes") or 0,
+                "  [lossy: prefix evicted, reproduction will synthesize]"
+                if ring.get("lossy")
+                else "",
+            )
+        )
     return 0
 
 
@@ -448,6 +550,8 @@ def _entry_row(entry, shard=None):
         "log_bytes": stats.get("log_bytes", 0),
         "bug": dict(manifest.get("bug", {})),
         "recovered": bool(manifest.get("recovered")),
+        "ring": bool(manifest.get("ring")),
+        "lossy": bool((manifest.get("ring") or {}).get("lossy")),
         "provenance": manifest.get("provenance") or {},
         "shard": fleet_info.get("shard", shard if shard is not None else -1),
         "cluster": fleet_info.get("cluster", ""),
@@ -486,6 +590,11 @@ def cmd_corpus_ls(args):
                 manifest.get("bug", {}).get("message", ""),
                 origin,
                 "  [recovered]" if manifest.get("recovered") else "",
+            )
+            + (
+                "  [ring lossy]"
+                if (manifest.get("ring") or {}).get("lossy")
+                else ("  [ring]" if manifest.get("ring") else "")
             )
         )
     return 0
@@ -819,6 +928,23 @@ def _common_run_flags(sub):
     sub.add_argument("--flush-prob", type=float, default=0.25)
 
 
+def _ring_flags(sub):
+    sub.add_argument(
+        "--ring-bytes",
+        type=int,
+        default=None,
+        help="flight-recorder mode: bound each thread's retained log to "
+        "this many encoded bytes (oldest segments are evicted; the "
+        "suffix stays reproducible via prefix synthesis)",
+    )
+    sub.add_argument(
+        "--ring-segment-bytes",
+        type=int,
+        default=512,
+        help="ring segment size (eviction granularity; default 512)",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -833,12 +959,14 @@ def build_parser():
 
     p = sub.add_parser("record", help="record a failing run's path logs")
     _common_run_flags(p)
+    _ring_flags(p)
     p.add_argument("--max-seeds", type=int, default=500)
     p.add_argument("--out", help="write logs as JSON")
     p.set_defaults(func=cmd_record)
 
     p = sub.add_parser("reproduce", help="record, solve and replay a failure")
     _common_run_flags(p)
+    _ring_flags(p)
     p.add_argument(
         "--solver",
         default="smt",
@@ -941,6 +1069,7 @@ def build_parser():
 
     p = sub.add_parser("trace", help="decode a recorded path log")
     _common_run_flags(p)
+    _ring_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--buggy", action="store_true", help="search for a failing run")
     p.add_argument("--max-seeds", type=int, default=500)
@@ -957,6 +1086,7 @@ def build_parser():
     c = csub.add_parser("add", help="record a failure and store its trace")
     c.add_argument("corpus", help="corpus directory (created if missing)")
     _common_run_flags(c)
+    _ring_flags(c)
     c.add_argument("--name", help="program name (default: file stem)")
     c.add_argument("--max-seeds", type=int, default=500)
     c.add_argument(

@@ -1,8 +1,9 @@
 """Top-level constraint encoder: F = Fpath ∧ Fbug ∧ Fso ∧ Frw ∧ Fmo."""
 
+from repro.analysis.symbolic import free_syms
 from repro.constraints.hb import HBClosure, HBPruner
 from repro.constraints.memory_order import encode_memory_order
-from repro.constraints.model import ConstraintSystem, OLt
+from repro.constraints.model import AtMostOne, ConstraintSystem, OLt
 from repro.constraints.prune import RWPruner
 from repro.constraints.rw import encode_read_write
 from repro.constraints.sync_order import encode_sync_order
@@ -48,6 +49,41 @@ def assign_atom_numbering(system):
     return numbering
 
 
+def _consumable_syms(system):
+    """Read-symbol names the lazy value theory may ever need to resolve.
+
+    Seeds with the free syms of every retained path condition and bug
+    predicate, then closes over reads-from resolution: if read R's sym can
+    be consulted, any same-address write's value expression can be
+    evaluated to produce it, pulling that expression's syms in too.
+    """
+    sym_read = {}
+    for summary in system.summaries.values():
+        for name, sap in summary.reads.items():
+            sym_read[name] = sap
+    write_exprs = {}
+    for sap in system.saps.values():
+        if sap.is_write and sap.value is not None:
+            write_exprs.setdefault(sap.addr, []).append(sap.value)
+    used = set()
+    for cond in system.conditions:
+        used |= free_syms(cond.expr)
+    for expr in system.bug_exprs:
+        used |= free_syms(expr)
+    frontier = list(used)
+    while frontier:
+        sym = frontier.pop()
+        sap = sym_read.get(sym)
+        if sap is None:
+            continue
+        for expr in write_exprs.get(sap.addr, ()):
+            for name in free_syms(expr):
+                if name not in used:
+                    used.add(name)
+                    frontier.append(name)
+    return used
+
+
 def encode(
     summaries,
     memory_model,
@@ -57,6 +93,7 @@ def encode(
     preexited=frozenset(),
     prune=None,
     hb=True,
+    relax_synth=True,
 ):
     """Encode one recorded execution into a :class:`ConstraintSystem`.
 
@@ -84,6 +121,15 @@ def encode(
         model, so the result is equisatisfiable with the raw encoding.
         ``hb=False`` produces the raw, completely unpruned Frw (used by
         the differential tests and the old-vs-new benchmarks).
+    relax_synth : bool
+        Eviction-horizon relaxation for flight-recorder logs (a no-op on
+        complete logs): path conditions whose branches fall inside a
+        synthesized prefix are dropped, and a synthesized read whose value
+        can never be consulted by a retained condition or write has its
+        reads-from ExactlyOne weakened to AtMostOne — the read's value is
+        the "unknown entry state" and the solver need not ground it.
+        Program-order and structural sync edges stay hard: they are
+        implied by the surviving suffix and its anchors.
     """
     system = ConstraintSystem(
         memory_model=memory_model,
@@ -92,10 +138,24 @@ def encode(
         preexited=frozenset(preexited),
     )
 
+    horizon = {
+        "synth_saps": 0,
+        "dropped_conditions": 0,
+        "relaxed_reads": 0,
+        "pinned_synth_reads": 0,
+    }
+    any_synth = False
     for summary in summaries.values():
         for sap in summary.saps:
             system.saps[sap.uid] = sap
-        system.conditions.extend(summary.conditions)
+            if getattr(sap, "synth", False):
+                any_synth = True
+                horizon["synth_saps"] += 1
+        for cond in summary.conditions:
+            if relax_synth and getattr(cond, "synth", False):
+                horizon["dropped_conditions"] += 1
+                continue
+            system.conditions.append(cond)
         if summary.bug_expr is not None:
             system.bug_exprs.append(summary.bug_expr)
     if not system.bug_exprs:
@@ -145,11 +205,38 @@ def encode(
         )
     rw_clauses, rw_eo, rf_candidates = encode_read_write(summaries, pruner=pruner)
     system.clauses.extend(rw_clauses)
+    if relax_synth and any_synth:
+        # Eviction-horizon relaxation: a synthesized read must still pick
+        # at most one coherent source (the rf-before/rf-nomid clauses keep
+        # applying to whichever choice is made), but it is not *forced* to
+        # pick one unless some retained expression could consult its value
+        # — in that case leaving it unresolved would make the value theory
+        # partial, so it stays exactly-one.
+        consumable = _consumable_syms(system)
+        kept = []
+        for group in rw_eo:
+            read_uid = group.lits[0].atom.read if group.lits else None
+            sap = system.saps.get(read_uid)
+            if sap is None or not getattr(sap, "synth", False):
+                kept.append(group)
+                continue
+            sym_name = getattr(sap.value, "name", None)
+            if sym_name is not None and sym_name not in consumable:
+                system.at_most_one.append(
+                    AtMostOne(list(group.lits), origin="rf-horizon")
+                )
+                horizon["relaxed_reads"] += 1
+            else:
+                horizon["pinned_synth_reads"] += 1
+                kept.append(group)
+        rw_eo = kept
     system.exactly_one.extend(rw_eo)
     system.rf_candidates = rf_candidates
     system.hb_closure = closure
     if pruner is not None:
         system.prune_stats = pruner.stats
+    if any_synth:
+        system.horizon_stats = horizon
 
     # Stable variable numbering for every SAT instance built from this
     # system (incremental bound rounds and fresh baselines alike).

@@ -144,6 +144,10 @@ class ConstraintSystem:
     # --static-prune supplied a certificate.  None only for hb=False raw
     # encodings.
     prune_stats: object = None
+    # Eviction-horizon relaxation counters (flight-recorder logs only):
+    # {"synth_saps", "dropped_conditions", "relaxed_reads",
+    #  "pinned_synth_reads"}.  None for complete logs.
+    horizon_stats: dict | None = None
     # The HBClosure of the hard edges computed during encoding; the SMT
     # solver reuses it for fixed-order reachability instead of rebuilding
     # its own transitive closure.  None for hb=False encodings.

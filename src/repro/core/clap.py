@@ -28,9 +28,13 @@ from repro.constraints.stats import compute_stats
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.replay import replay_schedule
 from repro.runtime.scheduler import RandomScheduler
-from repro.tracing.decoder import decode_log
+from repro.tracing.decoder import decode_log, decode_thread_tokens
 from repro.tracing.ball_larus import ProgramPaths
-from repro.tracing.recorder import PathRecorder
+from repro.tracing.recorder import (
+    FastPathRecorder,
+    PathRecorder,
+    RingTraceSink,
+)
 from repro.solver.parallel import solve_generate_validate
 from repro.solver.smt import solve_constraints, solve_constraints_bounded
 
@@ -87,6 +91,19 @@ class ClapConfig:
     # blocks stay serial regardless (fork overhead dominates below that).
     symexec_workers: int = 0
     symexec_min_blocks: int = 512
+    # Flight-recorder mode: bound each thread's retained log to
+    # ``ring_bytes`` of encoded trace (None = unbounded classic recording).
+    # Sealed ``ring_segment_bytes``-sized segments are evicted oldest-first;
+    # each carries a decode anchor so the surviving suffix decodes
+    # standalone.  ``prefix_synthesis`` lets the analysis reconstruct the
+    # evicted prefix (store/synthesize.py); with it off, a lossy trace is
+    # refused rather than silently treated as complete.  ``fast_recorder``
+    # selects the batched fast-path token encoder; None = auto (on for
+    # ring recording, off otherwise, keeping classic runs byte-stable).
+    ring_bytes: int | None = None
+    ring_segment_bytes: int = 512
+    prefix_synthesis: bool = True
+    fast_recorder: bool | None = None
 
 
 @dataclass
@@ -97,10 +114,25 @@ class RecordedExecution:
     result: object  # ExecutionResult
     recorder: PathRecorder
     shared: set
+    # Flight-recorder runs: the ring sink's ``info()`` snapshot (budget,
+    # per-thread eviction/retention counters, anchors) and the sink itself
+    # (for per-segment container serialization).  None for classic runs.
+    ring: dict | None = None
+    ring_sink: object = None
 
     @property
     def bug(self):
         return self.result.bug
+
+    @property
+    def lossy(self):
+        """True when at least one thread's log prefix was evicted."""
+        if not self.ring:
+            return False
+        return any(
+            t.get("evicted_tokens", 0) > 0
+            for t in self.ring.get("threads", {}).values()
+        )
 
     def log_size_bytes(self):
         return self.recorder.log_size_bytes()
@@ -139,6 +171,12 @@ class ClapReport:
     solver_detail: dict = field(default_factory=dict)
     schedule: list = field(default_factory=list)
     failure_reason: str = ""
+    # Flight-recorder runs: True when the analyzed trace was a suffix log
+    # (some prefix evicted); ``recorder_metrics`` carries the ring sink's
+    # counters and ``synthesis`` the prefix-synthesis report per thread.
+    lossy: bool = False
+    recorder_metrics: dict = field(default_factory=dict)
+    synthesis: dict = field(default_factory=dict)
 
 
 class ClapPipeline:
@@ -164,26 +202,60 @@ class ClapPipeline:
 
         ``sink`` (a :class:`repro.tracing.recorder.StreamingTraceSink`)
         streams tokens chunk-by-chunk to durable storage as they are
-        recorded; the caller owns closing it.
+        recorded; the caller owns closing it.  When the config sets
+        ``ring_bytes`` and no sink is given, a
+        :class:`~repro.tracing.recorder.RingTraceSink` bounds each
+        thread's retained log; the recorder's logs are then the surviving
+        *suffix* tokens and the returned execution carries the ring
+        metadata the analysis needs.
         """
-        recorder = PathRecorder(self.program, paths=self.paths, sink=sink)
+        cfg = self.config
+        if sink is None and cfg.ring_bytes is not None:
+            sink = RingTraceSink(
+                cfg.ring_bytes, segment_bytes=cfg.ring_segment_bytes
+            )
+        ring_sink = sink if isinstance(sink, RingTraceSink) else None
+        fast = cfg.fast_recorder
+        if fast is None:
+            fast = ring_sink is not None
+        recorder_cls = FastPathRecorder if fast else PathRecorder
+        recorder = recorder_cls(
+            self.program,
+            paths=self.paths,
+            sink=sink,
+            retain_logs=ring_sink is None,
+        )
         scheduler = RandomScheduler(
             seed,
-            stickiness=self.config.stickiness,
-            flush_prob=self.config.flush_prob,
+            stickiness=cfg.stickiness,
+            flush_prob=cfg.flush_prob,
         )
         interp = Interpreter(
             self.program,
-            memory_model=self.config.memory_model,
+            memory_model=cfg.memory_model,
             scheduler=scheduler,
             shared=self.shared,
             hooks=[recorder],
-            max_steps=self.config.max_steps,
+            max_steps=cfg.max_steps,
         )
         result = interp.run()
         recorder.finalize(interp)
+        ring = None
+        if ring_sink is not None:
+            # The in-memory logs become the *retained suffix*: exactly
+            # what a post-mortem reader would decode from the ring.
+            recorder.logs = {
+                thread: list(ring_sink.suffix_tokens(thread))
+                for thread in ring_sink.threads()
+            }
+            ring = ring_sink.info()
         return RecordedExecution(
-            seed=seed, result=result, recorder=recorder, shared=self.shared
+            seed=seed,
+            result=result,
+            recorder=recorder,
+            shared=self.shared,
+            ring=ring,
+            ring_sink=ring_sink,
         )
 
     def record(self):
@@ -222,7 +294,26 @@ class ClapPipeline:
         """
         if timings is None:
             timings = {}
+        ring = getattr(recorded, "ring", None)
+        lossy = bool(getattr(recorded, "lossy", False))
+        if lossy and not self.config.prefix_synthesis:
+            raise ClapError(
+                "trace is a flight-recorder suffix (%s) and prefix "
+                "synthesis is disabled; refusing to analyze a lossy log "
+                "as if it were complete"
+                % ", ".join(
+                    "%s: %d tokens evicted" % (t, i.get("evicted_tokens", 0))
+                    for t, i in sorted(ring.get("threads", {}).items())
+                    if i.get("evicted_tokens", 0)
+                )
+            )
         material = None
+        if cache is not None and lossy:
+            # A suffix log's analysis depends on the anchors and the
+            # synthesized prefix, which the cache key does not capture;
+            # never serve or store a lossy trace from the cache.
+            cache = None
+            timings["cache"] = "bypass"
         if cache is not None:
             from repro.store.cache import AnalysisCache
 
@@ -245,7 +336,13 @@ class ClapPipeline:
             timings["cache"] = "miss"
 
         t0 = time.monotonic()
-        decoded = decode_log(recorded.recorder)
+        if ring:
+            decoded, synthesis = self._decode_ring(recorded, ring, lossy)
+            if synthesis is not None:
+                timings["synthesis"] = synthesis.to_json()
+        else:
+            decoded = decode_log(recorded.recorder)
+        timings["lossy"] = lossy
         if self.config.symexec_workers > 1:
             summaries = parallel_summaries(
                 self.program,
@@ -284,6 +381,50 @@ class ClapPipeline:
             self._pin_observed_reads(system, recorded)
         return system
 
+    def _decode_ring(self, recorded, ring, lossy):
+        """Anchored suffix decode (+ prefix synthesis when lossy).
+
+        Each thread decodes against its eviction-horizon anchor; threads
+        that lost tokens get a synthesized prefix grafted on (refusing —
+        via :class:`ClapError` — when the suffix cannot be grounded in
+        any legal prefix).  Returns ``(decoded, SynthesisReport | None)``.
+        """
+        from repro.store.synthesize import (
+            PrefixSynthesisError,
+            synthesize_prefixes,
+        )
+        from repro.tracing.logfmt import SegmentAnchor
+
+        recorder = recorded.recorder
+        threads = ring.get("threads", {})
+        decoded = {}
+        for thread_name, tokens in recorder.logs.items():
+            info = threads.get(thread_name) or {}
+            anchor = info.get("anchor")
+            if isinstance(anchor, dict):
+                anchor = SegmentAnchor.from_json(anchor)
+            if anchor is not None and not anchor.frames:
+                anchor = None
+            decoded[thread_name] = decode_thread_tokens(
+                thread_name,
+                tokens,
+                recorder.paths,
+                recorder.func_names,
+                anchor=anchor,
+            )
+        if not lossy:
+            return decoded, None
+        try:
+            synthesis = synthesize_prefixes(
+                self.program, self.paths, decoded, threads
+            )
+        except PrefixSynthesisError as exc:
+            raise ClapError(
+                "prefix synthesis failed for the flight-recorder suffix: %s"
+                % exc
+            ) from exc
+        return decoded, synthesis
+
     def _pin_observed_reads(self, system, recorded):
         """Strengthen Fbug to the exact observed outcome: every read the
         failing thread performed must return the value seen in the crash
@@ -305,6 +446,41 @@ class ClapPipeline:
             system.bug_exprs.append(
                 mk_binop("==", sap.value, runtime.value)
             )
+
+    @staticmethod
+    def _recorder_metrics(recorded):
+        """JSON-ready recorder counters for reports (empty for classic)."""
+        ring = getattr(recorded, "ring", None)
+        if not ring:
+            return {}
+        threads = {}
+        for name, info in sorted(ring.get("threads", {}).items()):
+            entry = dict(info)
+            anchor = entry.pop("anchor", None)
+            if anchor is not None and hasattr(anchor, "to_json"):
+                entry["anchor"] = anchor.to_json()
+            elif anchor is not None:
+                entry["anchor"] = anchor
+            threads[name] = entry
+        return {
+            "ring_bytes": ring.get("ring_bytes"),
+            "segment_bytes": ring.get("segment_bytes"),
+            "lossy": bool(getattr(recorded, "lossy", False)),
+            "segments_written": sum(
+                t.get("segments_written", 0) for t in threads.values()
+            ),
+            "segments_evicted": sum(
+                t.get("segments_evicted", 0) for t in threads.values()
+            ),
+            "bytes_retained": sum(
+                t.get("retained_bytes", 0) for t in threads.values()
+            ),
+            "bytes_total": sum(
+                t.get("total_bytes", 0) for t in threads.values()
+            ),
+            "flushes": sum(t.get("flushes", 0) for t in threads.values()),
+            "threads": threads,
+        }
 
     def solve(self, system):
         cfg = self.config
@@ -413,6 +589,9 @@ class ClapPipeline:
         report.time_symbolic = timings.get("symexec", analyze_total)
         report.time_encode = timings.get("encode", 0.0)
         report.cache_state = timings.get("cache", "off")
+        report.lossy = timings.get("lossy", False)
+        report.synthesis = timings.get("synthesis", {})
+        report.recorder_metrics = self._recorder_metrics(recorded)
         if cache is not None:
             report.cache_stats = cache.stats.as_dict()
         stats = compute_stats(system)

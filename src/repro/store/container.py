@@ -52,6 +52,7 @@ FOOTER_MARKER = 0xF7
 # Chunk flags.
 CHUNK_FINAL = 1  # flushed by finalize(): contains the thread's log tail
 CHUNK_RECOVERED = 2  # rewritten by recovery with synthesized partial tokens
+CHUNK_RING = 4  # flight-recorder suffix segment: the log's prefix was evicted
 
 FORMAT_VERSION = 1
 
@@ -101,10 +102,14 @@ class ClapWriter:
         """Append one chunk of ``tokens`` for ``thread`` and flush it."""
         if self._closed:
             raise ContainerError("writer for %s is closed" % self.path)
-        if not tokens:
-            return
         if final:
             flags |= CHUNK_FINAL
+        if not tokens and not flags:
+            # Nothing to persist and nothing to mark.  A *final* (or
+            # otherwise flagged) empty chunk is still written: the final
+            # flag is what distinguishes a cleanly finished log from a
+            # crashed writer's truncated one.
+            return
         raw = encode_tokens(tokens)
         comp = zlib.compress(raw, self.compress_level)
         chunk = bytearray()
@@ -377,8 +382,13 @@ def compact_container(src, dst, compress_level=9):
         flags_by_thread[chunk.thread] = chunk.flags
     writer = ClapWriter(dst, compress_level=compress_level)
     for thread in sorted(logs):
-        final = bool(flags_by_thread.get(thread, 0) & CHUNK_FINAL)
-        writer.write_chunk(thread, logs[thread], final=final)
+        flags = flags_by_thread.get(thread, 0)
+        final = bool(flags & CHUNK_FINAL)
+        # Keep the ring marker: a merged flight-recorder suffix is still a
+        # suffix, and loaders must never mistake it for a complete log.
+        writer.write_chunk(
+            thread, logs[thread], final=final, flags=flags & CHUNK_RING
+        )
     meta = dict(reader.meta)
     meta.pop("format", None)
     writer.close(meta=meta)

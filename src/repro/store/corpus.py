@@ -36,13 +36,14 @@ from repro.minilang import compile_source
 from repro.runtime.events import BugReport
 from repro.store.container import (
     CHUNK_RECOVERED,
+    CHUNK_RING,
     ClapReader,
     ClapWriter,
     compact_container,
 )
 from repro.store.recover import recover_tokens
 from repro.tracing.ball_larus import ProgramPaths
-from repro.tracing.logfmt import encode_tokens
+from repro.tracing.logfmt import decode_tokens, encode_tokens
 from repro.tracing.recorder import StreamingTraceSink
 
 CORPUS_FORMAT = 1
@@ -58,6 +59,8 @@ _RECORD_PARAMS = (
     "max_steps",
     "max_cs",
     "pin_observed_reads",
+    "ring_bytes",
+    "ring_segment_bytes",
 )
 
 
@@ -118,7 +121,7 @@ class StoredExecution:
     """
 
     def __init__(self, entry_id, program, seed, bug, logs, paths, stats,
-                 recovery=None, memory_model=None):
+                 recovery=None, memory_model=None, ring=None):
         self.entry_id = entry_id
         self.program = program
         self.seed = seed
@@ -134,10 +137,24 @@ class StoredExecution:
         self.result = _StoredResult(bug, stats)
         # RecoveryReport when the container needed crash recovery.
         self.recovery = recovery
+        # Flight-recorder metadata from the manifest (anchors as JSON
+        # dicts — ClapPipeline._decode_ring revives them); None for
+        # classic complete recordings.
+        self.ring = ring
+        self.ring_sink = None
 
     @property
     def bug(self):
         return self.result.bug
+
+    @property
+    def lossy(self):
+        if not self.ring:
+            return False
+        return any(
+            t.get("evicted_tokens", 0) > 0
+            for t in self.ring.get("threads", {}).values()
+        )
 
     def log_size_bytes(self):
         return self.recorder.log_size_bytes()
@@ -237,6 +254,13 @@ class CorpusEntry:
         paths = ProgramPaths.build(program)
         reader = ClapReader.open(self.trace_path)
         bug = self.bug()
+        ring = self.manifest.get("ring")
+        if ring is None and any(c.flags & CHUNK_RING for c in reader.chunks):
+            raise CorpusError(
+                "entry %s: container holds flight-recorder (ring) chunks "
+                "but the manifest has no ring metadata; refusing to treat "
+                "a suffix log as a complete trace" % self.entry_id
+            )
         recovery = None
         if reader.complete or self.manifest.get("recovered"):
             logs = reader.thread_tokens()
@@ -264,6 +288,7 @@ class CorpusEntry:
             stats=self.manifest.get("stats", {}),
             recovery=recovery,
             memory_model=self.manifest["record"].get("memory_model"),
+            ring=ring,
         )
 
     def recover(self):
@@ -422,17 +447,46 @@ class Corpus:
 
         # Genuine streaming write: re-run the failing seed with the
         # recorder flushing chunk by chunk into the container, then check
-        # the durable bytes describe the very same execution.
+        # the durable bytes describe the very same execution.  Ring
+        # configs re-run through the bounded flight recorder instead and
+        # persist one CHUNK_RING chunk per surviving segment — the
+        # container then holds exactly the suffix a post-mortem reader
+        # would have found, and the manifest carries the decode anchors.
+        ring_mode = getattr(config, "ring_bytes", None) is not None
         writer = ClapWriter(entry.trace_path)
-        sink = StreamingTraceSink(writer, flush_every=flush_every)
-        streamed = pipeline.record_once(recorded.seed, sink=sink)
-        writer.close(
-            meta={
-                "entry": entry_id,
-                "program": program.name,
-                "seed": recorded.seed,
-            }
-        )
+        meta = {
+            "entry": entry_id,
+            "program": program.name,
+            "seed": recorded.seed,
+        }
+        if ring_mode:
+            streamed = pipeline.record_once(recorded.seed)
+            ring_sink = streamed.ring_sink
+            for thread in sorted(
+                set(ring_sink.threads()) | set(streamed.recorder.logs)
+            ):
+                segments = (
+                    list(ring_sink.iter_segments(thread))
+                    if thread in ring_sink.threads()
+                    else []
+                )
+                if not segments:
+                    writer.write_chunk(
+                        thread, [], final=True, flags=CHUNK_RING
+                    )
+                    continue
+                for i, seg in enumerate(segments):
+                    writer.write_chunk(
+                        thread,
+                        decode_tokens(seg.body),
+                        final=(i == len(segments) - 1),
+                        flags=CHUNK_RING,
+                    )
+            meta["ring"] = True
+        else:
+            sink = StreamingTraceSink(writer, flush_every=flush_every)
+            streamed = pipeline.record_once(recorded.seed, sink=sink)
+        writer.close(meta=meta)
         same_bug = recorded.bug is not None and recorded.bug.same_failure(
             streamed.bug
         )
@@ -473,6 +527,17 @@ class Corpus:
             },
             "recovered": False,
         }
+        if ring_mode:
+            ring_info = streamed.ring or {}
+            manifest["ring"] = {
+                "ring_bytes": ring_info.get("ring_bytes"),
+                "segment_bytes": ring_info.get("segment_bytes"),
+                "lossy": streamed.lossy,
+                "threads": {
+                    t: dict(info, anchor=info["anchor"].to_json())
+                    for t, info in ring_info.get("threads", {}).items()
+                },
+            }
         if extra_manifest:
             manifest.update(extra_manifest)
         entry._write_manifest(manifest)

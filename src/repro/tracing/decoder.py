@@ -31,6 +31,20 @@ class FrameTrace:
     resume_block: int | None = None
     resume_ip: int | None = None
     _pending_resume: bool = False
+    # Flight-recorder suffix decoding: the activation was already open at
+    # the eviction horizon (it comes from a segment anchor, not an ``enter``
+    # token).  ``anchor_calls`` is the anchor's count of callee activations
+    # this frame completed before the horizon — the prefix synthesizer must
+    # account for every one of them.
+    anchored: bool = False
+    anchor_calls: int = 0
+    # Prefix synthesis (store/synthesize.py): the first ``synth_blocks``
+    # entries of ``blocks`` were reconstructed, not recorded; a frame with
+    # ``synthesized`` is an entirely reconstructed activation.  Symbolic
+    # execution marks SAPs and path conditions from these regions so the
+    # encoder can relax them (the entry state is unknown).
+    synthesized: bool = False
+    synth_blocks: int = 0
 
     def total_blocks(self):
         return len(self.blocks) + sum(c.total_blocks() for c in self.calls)
@@ -59,14 +73,34 @@ class LogDecodeError(Exception):
         self.thread = thread
 
 
-def decode_thread_tokens(thread_name, tokens, paths, func_names):
+def decode_thread_tokens(thread_name, tokens, paths, func_names, anchor=None):
     """Decode one thread's token list into a :class:`DecodedThreadPath`.
 
     ``paths`` is the program's :class:`~repro.tracing.ball_larus.ProgramPaths`;
     ``func_names`` maps recorder function ids back to names.
+
+    ``anchor`` (a :class:`~repro.tracing.logfmt.SegmentAnchor`) makes this
+    a *suffix* decode: the anchor's open-frame chain is pre-opened (with
+    empty block lists) before any token is processed, so a flight-recorder
+    suffix whose ``enter`` tokens were evicted still decodes.  Because
+    Ball-Larus path ids embed their start block's pseudo-ENTRY value, the
+    first ``path`` token of each anchored frame decodes its *entire*
+    in-flight path — including blocks executed before the horizon — with
+    the standard decode; only fully evicted earlier paths are missing, and
+    closing that gap is the prefix synthesizer's job.
     """
     stack = []
     root = None
+    if anchor is not None:
+        for fid, calls_done in anchor.frames:
+            node = FrameTrace(
+                func=func_names[fid], anchored=True, anchor_calls=calls_done
+            )
+            if stack:
+                stack[-1].calls.append(node)
+            else:
+                root = node
+            stack.append(node)
     for token in tokens:
         kind = token[0]
         if kind == "resume":

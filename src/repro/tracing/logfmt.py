@@ -18,7 +18,25 @@ Tokens
     ``wait_stage`` is non-zero only when the thread stopped inside a
     ``wait()`` (1 = released the mutex, 2 = also consumed the signal); the
     offline reconstruction must emit the matching sub-SAPs.
+
+Segment framing
+---------------
+The flight-recorder ring (:class:`repro.tracing.recorder.RingTraceSink`)
+partitions one thread's *plain* encoding into fixed-size segments cut at
+record boundaries, so any suffix of segments is byte-identical to the
+tail of ``encode_tokens(all_tokens)`` and still decodes with
+:func:`decode_tokens`.  Each segment carries a :class:`SegmentAnchor` —
+the open-frame chain and stream position at the segment's first record —
+so the surviving suffix decodes standalone after older segments are
+evicted.  Crucially, no Ball-Larus counter is reset at a segment seal:
+path ids always embed the pseudo-ENTRY value of their start block, so
+every ``path`` token already decodes standalone and the anchor only
+needs the *structural* state (which frames are open, how many callee
+activations each had completed) that the evicted prefix would otherwise
+carry.
 """
+
+from dataclasses import dataclass
 
 TAG_ENTER = 0
 TAG_PATH = 1
@@ -167,3 +185,118 @@ def decode_tokens(data):
                 offset=tag_offset,
             )
     return tokens
+
+
+# --------------------------------------------------------------------------
+# Segment framing (flight recorder)
+
+SEGMENT_MAGIC = 0xA6
+
+
+@dataclass(frozen=True)
+class SegmentAnchor:
+    """Decode anchor for one ring segment.
+
+    ``frames`` is the open-frame chain at the segment's first record,
+    outermost first: ``(func_id, calls_done)`` where ``calls_done`` counts
+    the callee activations that frame had already *completed* before the
+    anchor (the still-open child, if any, is the next chain entry, not a
+    completed call).  The remaining fields are cumulative stream positions
+    at the segment start; on the first *retained* segment they are exactly
+    the eviction horizon: how many tokens/bytes/segments of this thread's
+    log were dropped before the surviving suffix.
+    """
+
+    frames: tuple = ()
+    tokens_before: int = 0
+    bytes_before: int = 0
+    segments_before: int = 0
+
+    def to_json(self):
+        return {
+            "frames": [list(f) for f in self.frames],
+            "tokens_before": self.tokens_before,
+            "bytes_before": self.bytes_before,
+            "segments_before": self.segments_before,
+        }
+
+    @classmethod
+    def from_json(cls, obj):
+        return cls(
+            frames=tuple((int(f[0]), int(f[1])) for f in obj.get("frames", ())),
+            tokens_before=int(obj.get("tokens_before", 0)),
+            bytes_before=int(obj.get("bytes_before", 0)),
+            segments_before=int(obj.get("segments_before", 0)),
+        )
+
+
+def encode_segment(anchor, body):
+    """Frame one segment: magic, anchor header, then the raw record body.
+
+    ``body`` must be a record-aligned slice of a plain token encoding, so
+    it round-trips through :func:`decode_tokens` on its own.
+    """
+    out = bytearray()
+    out.append(SEGMENT_MAGIC)
+    write_varint(out, len(anchor.frames))
+    for func_id, calls_done in anchor.frames:
+        write_varint(out, func_id)
+        write_varint(out, calls_done)
+    write_varint(out, anchor.tokens_before)
+    write_varint(out, anchor.bytes_before)
+    write_varint(out, anchor.segments_before)
+    write_varint(out, len(body))
+    out.extend(body)
+    return bytes(out)
+
+
+def decode_segment(data, pos=0):
+    """Decode one framed segment at ``pos``; returns (anchor, body, new_pos).
+
+    Raises :class:`TraceDecodeError` with the offending offset on a bad
+    magic byte, a header varint truncated mid-stream, or a body shorter
+    than its declared length (offset = first missing byte).
+    """
+    if pos >= len(data):
+        raise TraceDecodeError(
+            "truncated segment at offset %d" % pos, offset=pos
+        )
+    if data[pos] != SEGMENT_MAGIC:
+        raise TraceDecodeError(
+            "bad segment magic 0x%02x at offset %d" % (data[pos], pos),
+            offset=pos,
+        )
+    pos += 1
+    n_frames, pos = read_varint(data, pos)
+    frames = []
+    for _ in range(n_frames):
+        func_id, pos = read_varint(data, pos)
+        calls_done, pos = read_varint(data, pos)
+        frames.append((func_id, calls_done))
+    tokens_before, pos = read_varint(data, pos)
+    bytes_before, pos = read_varint(data, pos)
+    segments_before, pos = read_varint(data, pos)
+    body_len, pos = read_varint(data, pos)
+    end = pos + body_len
+    if end > len(data):
+        raise TraceDecodeError(
+            "segment body truncated at offset %d" % len(data),
+            offset=len(data),
+        )
+    anchor = SegmentAnchor(
+        frames=tuple(frames),
+        tokens_before=tokens_before,
+        bytes_before=bytes_before,
+        segments_before=segments_before,
+    )
+    return anchor, bytes(data[pos:end]), end
+
+
+def decode_segments(data):
+    """Decode a concatenation of framed segments to [(anchor, body)]."""
+    out = []
+    pos = 0
+    while pos < len(data):
+        anchor, body, pos = decode_segment(data, pos)
+        out.append((anchor, body))
+    return out

@@ -8,9 +8,14 @@ import random
 import pytest
 
 from repro.tracing.logfmt import (
+    SEGMENT_MAGIC,
+    SegmentAnchor,
     TAG_RESUME,
     TraceDecodeError,
+    decode_segment,
+    decode_segments,
     decode_tokens,
+    encode_segment,
     encode_tokens,
     read_varint,
 )
@@ -102,3 +107,84 @@ def test_read_varint_truncated_raises_with_offset():
     with pytest.raises(TraceDecodeError) as err:
         read_varint(bytes([0x80, 0x80]), 0)
     assert err.value.offset == 2
+
+
+def test_repeat_truncated_mid_varint_raises_with_offset():
+    """A TAG_REPEAT cut inside either of its two varints (path id, count)
+    must raise — with the offset inside the damaged record, never past
+    the cut — instead of decoding a short run."""
+    prefix = encode_tokens([("enter", 3)])
+    repeat = encode_tokens([("path", 300)] * 500)  # multi-byte id and count
+    assert len(repeat) > 3
+    data = prefix + repeat
+    for cut in range(len(prefix) + 1, len(data)):
+        with pytest.raises(TraceDecodeError) as err:
+            decode_tokens(data[:cut])
+        assert len(prefix) <= err.value.offset <= cut
+
+
+def test_resume_truncated_mid_varint_raises_with_offset():
+    prefix = encode_tokens([("exit",)])
+    resume = encode_tokens([("resume", 200, 70, 1 << 20)])
+    data = prefix + resume
+    for cut in range(len(prefix) + 1, len(data)):
+        with pytest.raises(TraceDecodeError) as err:
+            decode_tokens(data[:cut])
+        assert len(prefix) <= err.value.offset <= cut
+
+
+def _sample_segment():
+    anchor = SegmentAnchor(
+        frames=((2, 9), (5, 0)),
+        tokens_before=36,
+        bytes_before=63,
+        segments_before=1,
+    )
+    body = encode_tokens([("path", 300)] * 40 + [("exit",), ("resume", 7, 2, 3)])
+    return anchor, body
+
+
+def test_segment_roundtrip_and_json():
+    anchor, body = _sample_segment()
+    data = encode_segment(anchor, body)
+    got_anchor, got_body, pos = decode_segment(data)
+    assert (got_anchor, got_body, pos) == (anchor, body, len(data))
+    assert SegmentAnchor.from_json(anchor.to_json()) == anchor
+
+
+def test_segment_truncated_anywhere_raises_with_offset():
+    """A framed segment cut at any byte must raise, pointing at the
+    segment start (header damage) or the stream end (short body)."""
+    anchor, body = _sample_segment()
+    data = encode_segment(anchor, body)
+    for cut in range(len(data)):
+        with pytest.raises(TraceDecodeError) as err:
+            decode_segment(data[:cut])
+        assert err.value.offset in (0, cut)
+
+
+def test_segment_boundary_truncation_in_stream():
+    """Cutting a multi-segment stream mid-way decodes the whole leading
+    segments and raises on the damaged one, never yielding a partial
+    segment silently."""
+    anchor, body = _sample_segment()
+    seg = encode_segment(anchor, body)
+    stream = seg + encode_segment(
+        SegmentAnchor(frames=((2, 10),), tokens_before=78), body
+    )
+    # Clean boundary: the prefix decodes to exactly one segment.
+    assert len(decode_segments(stream[: len(seg)])) == 1
+    for cut in range(len(seg) + 1, len(stream)):
+        with pytest.raises(TraceDecodeError) as err:
+            decode_segments(stream[:cut])
+        assert err.value.offset in (len(seg), cut)
+
+
+def test_segment_bad_magic_raises_at_offset():
+    anchor, body = _sample_segment()
+    data = bytearray(encode_segment(anchor, body))
+    assert data[0] == SEGMENT_MAGIC
+    data[0] ^= 0xFF
+    with pytest.raises(TraceDecodeError) as err:
+        decode_segment(bytes(data))
+    assert err.value.offset == 0

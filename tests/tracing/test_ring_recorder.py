@@ -1,0 +1,348 @@
+"""The flight recorder: ring sink invariants, fast-path recorder
+equivalence, and the streaming sink's exactly-once final flush.
+
+Three layers:
+
+* :class:`StreamingTraceSink` final-flush regression — every started
+  thread gets exactly one ``final=True`` chunk at finalize, even when it
+  never accumulated ``flush_every`` tokens (or none at all).
+* :class:`FastPathRecorder` differential — token streams and
+  instrumentation-op counts identical to :class:`PathRecorder` across
+  programs and schedules.
+* :class:`RingTraceSink` properties (hypothesis) — the surviving suffix
+  decodes standalone, is byte-identical to the tail of the unbounded
+  encoding, and never exceeds the byte budget by more than one segment.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minilang import compile_source
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.scheduler import RandomScheduler
+from repro.tracing.decoder import decode_log, decode_thread_tokens
+from repro.tracing.logfmt import decode_tokens, encode_tokens
+from repro.tracing.recorder import (
+    FastPathRecorder,
+    PathRecorder,
+    RingTraceSink,
+    StreamingTraceSink,
+)
+
+LOOPY = """
+int x = 0;
+int y = 0;
+
+void bump(int id) {
+    int a = x;
+    x = a + id;
+}
+
+void worker(int id) {
+    for (int i = 0; i < 40; i++) {
+        bump(id);
+    }
+    int b = y;
+    y = b + id;
+}
+
+int main() {
+    int t0 = 0;
+    int t1 = 0;
+    t0 = spawn worker(1);
+    t1 = spawn worker(2);
+    join(t0);
+    join(t1);
+    assert(y == 3);
+    return 0;
+}
+"""
+
+TINY = """
+int g = 0;
+
+int main() {
+    g = 1;
+    g = g + 1;
+    return 0;
+}
+"""
+
+
+def run_recorded(src, recorder_cls=PathRecorder, seed=0, sink=None,
+                 stickiness=0.3, retain_logs=True, name="rt"):
+    prog = compile_source(src, name=name)
+    recorder = recorder_cls(
+        prog, sink=sink, retain_logs=retain_logs
+    )
+    interp = Interpreter(
+        prog,
+        scheduler=RandomScheduler(seed, stickiness=stickiness),
+        hooks=[recorder],
+    )
+    result = interp.run()
+    recorder.finalize(interp)
+    return prog, recorder, result
+
+
+# -- streaming sink: exactly-once final flush ------------------------------
+
+
+class ChunkLog:
+    """Fake durable writer capturing every chunk."""
+
+    def __init__(self):
+        self.chunks = []
+        self.closed = False
+
+    def write_chunk(self, thread, tokens, final=False, flags=0):
+        self.chunks.append((thread, list(tokens), final))
+
+    def close(self, meta=None):
+        self.closed = True
+
+    def finals(self, thread):
+        return [c for c in self.chunks if c[0] == thread and c[2]]
+
+    def tokens(self, thread):
+        out = []
+        for name, tokens, _ in self.chunks:
+            if name == thread:
+                out.extend(tokens)
+        return out
+
+
+@pytest.mark.parametrize("flush_every", [1, 2, 16, 10_000])
+def test_final_flush_exactly_once_per_thread(flush_every):
+    """Regression: threads that never reached ``flush_every`` buffered
+    tokens used to get no final chunk at all, making a cleanly finished
+    trace look crashed.  Every started thread must get exactly one
+    ``final=True`` flush, and the chunks must concatenate to the full
+    log."""
+    log = ChunkLog()
+    sink = StreamingTraceSink(log, flush_every=flush_every)
+    _, recorder, _ = run_recorded(LOOPY, sink=sink)
+    assert recorder.logs  # sanity: something was recorded
+    for thread, tokens in recorder.logs.items():
+        assert len(log.finals(thread)) == 1, (
+            "thread %s: expected exactly one final flush" % thread
+        )
+        assert log.tokens(thread) == tokens
+        # The final chunk is the last one for the thread.
+        last = [c for c in log.chunks if c[0] == thread][-1]
+        assert last[2] is True
+
+
+def test_final_flush_with_zero_pending_tokens():
+    """A thread fully drained before finalize still gets its (empty)
+    final chunk — the marker is what proves the log complete."""
+    log = ChunkLog()
+    sink = StreamingTraceSink(log, flush_every=1)  # drain every token
+    _, recorder, _ = run_recorded(TINY, sink=sink)
+    (thread,) = recorder.logs
+    finals = log.finals(thread)
+    assert len(finals) == 1
+    assert finals[0][1] == []  # nothing pending, marker only
+    assert log.tokens(thread) == recorder.logs[thread]
+
+
+def test_single_token_thread_gets_final_flush():
+    """Boundary: a log shorter than any flush threshold still lands on
+    disk via the final flush (the original bug dropped it entirely)."""
+    log = ChunkLog()
+    sink = StreamingTraceSink(log, flush_every=1_000_000)
+    _, recorder, _ = run_recorded(TINY, sink=sink)
+    (thread,) = recorder.logs
+    assert log.tokens(thread) == recorder.logs[thread]
+    assert len(log.finals(thread)) == 1
+
+
+# -- fast-path recorder: differential against the reference ----------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("src", [LOOPY, TINY], ids=["loopy", "tiny"])
+def test_fast_recorder_matches_reference(src, seed):
+    _, classic, r1 = run_recorded(src, PathRecorder, seed=seed)
+    _, fast, r2 = run_recorded(src, FastPathRecorder, seed=seed)
+    assert classic.logs == fast.logs
+    assert classic.instrumentation_ops == fast.instrumentation_ops
+    assert classic.encoded_logs() == fast.encoded_logs()
+    assert (r1.bug is None) == (r2.bug is None)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_fast_recorder_matches_reference_through_sink(seed):
+    log_c, log_f = ChunkLog(), ChunkLog()
+    run_recorded(LOOPY, PathRecorder, seed=seed,
+                 sink=StreamingTraceSink(log_c, flush_every=3))
+    run_recorded(LOOPY, FastPathRecorder, seed=seed,
+                 sink=StreamingTraceSink(log_f, flush_every=3))
+    assert log_c.chunks == log_f.chunks
+
+
+def test_fast_recorder_decodes_like_reference():
+    _, classic, _ = run_recorded(LOOPY, PathRecorder, seed=2)
+    _, fast, _ = run_recorded(LOOPY, FastPathRecorder, seed=2)
+
+    def shape(recorder):
+        out = {}
+        for thread, dp in decode_log(recorder).items():
+            rows = []
+
+            def walk(node, depth):
+                rows.append((depth, node.func, tuple(node.blocks)))
+                for child in node.calls:
+                    walk(child, depth + 1)
+
+            walk(dp.root, 0)
+            out[thread] = rows
+        return out
+
+    assert shape(classic) == shape(fast)
+
+
+# -- ring sink: real-program suffix identity -------------------------------
+
+
+def ring_run(src, ring_bytes, segment_bytes, seed=0):
+    sink = RingTraceSink(ring_bytes, segment_bytes=segment_bytes)
+    prog, recorder, result = run_recorded(
+        src, FastPathRecorder, seed=seed, sink=sink, retain_logs=False
+    )
+    _, full, _ = run_recorded(src, PathRecorder, seed=seed)
+    return prog, sink, full, result
+
+
+def test_ring_full_budget_keeps_everything():
+    _, sink, full, _ = ring_run(LOOPY, 1 << 20, 64)
+    for thread, tokens in full.logs.items():
+        assert sink.suffix_tokens(thread) == tokens
+        assert not sink.lossy(thread)
+        assert sink.suffix_anchor(thread).tokens_before == 0
+
+
+def test_ring_small_budget_suffix_is_byte_identical_tail():
+    _, sink, full, _ = ring_run(LOOPY, 128, 32)
+    assert sink.lossy()
+    for thread, tokens in full.logs.items():
+        unbounded = encode_tokens(tokens)
+        suffix = sink.suffix_bytes(thread)
+        anchor = sink.suffix_anchor(thread)
+        assert unbounded.endswith(suffix)
+        assert unbounded[anchor.bytes_before :] == suffix
+        assert decode_tokens(suffix) == sink.suffix_tokens(thread)
+        info = sink.thread_info(thread)
+        assert info["retained_bytes"] <= 128 + 32
+
+
+def test_ring_anchored_decode_matches_truth_tail():
+    prog, sink, full, _ = ring_run(LOOPY, 160, 32, seed=1)
+    assert sink.lossy()
+    truth = decode_log(full)
+    func_names = full.func_names
+    for thread in sink.threads():
+        anchor = sink.suffix_anchor(thread)
+        if not anchor.frames:
+            continue
+        decoded = decode_thread_tokens(
+            thread,
+            sink.suffix_tokens(thread),
+            full.paths,
+            func_names,
+            anchor=anchor,
+        )
+        # The anchored root names the same function as ground truth and
+        # its decoded blocks are a tail of the true block sequence.
+        true_root = truth[thread].root
+        assert decoded.root.func == true_root.func
+        n = len(decoded.root.blocks)
+        assert n > 0
+        assert tuple(true_root.blocks[-n:]) == tuple(decoded.root.blocks)
+
+
+# -- ring sink: synthetic-stream properties (hypothesis) -------------------
+
+
+def token_streams():
+    token = st.one_of(
+        st.tuples(st.just("enter"), st.integers(0, 40)),
+        st.tuples(st.just("path"), st.integers(0, 1 << 12)),
+        st.tuples(st.just("exit")),
+        st.tuples(
+            st.just("partial"),
+            st.integers(0, 1 << 12),
+            st.integers(0, 63),
+            st.integers(0, 63),
+            st.integers(0, 2),
+        ),
+        st.tuples(
+            st.just("resume"),
+            st.integers(0, 40),
+            st.integers(0, 63),
+            st.integers(0, 63),
+        ),
+    )
+    burst = st.tuples(st.integers(0, 1 << 10), st.integers(2, 30)).map(
+        lambda t: [("path", t[0])] * t[1]
+    )
+    return st.lists(
+        st.one_of(token.map(lambda t: [t]), burst), min_size=1, max_size=60
+    ).map(lambda chunks: [t for chunk in chunks for t in chunk])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    tokens=token_streams(),
+    ring_bytes=st.integers(16, 256),
+    segment_bytes=st.integers(8, 64),
+    splits=st.lists(st.integers(1, 12), max_size=20),
+)
+def test_ring_eviction_invariants(tokens, ring_bytes, segment_bytes, splits):
+    """For ANY token stream and ANY flush batching:
+
+    1. the suffix re-encodes byte-identically to the tail of the
+       unbounded encoding (eviction only ever drops whole leading
+       segments);
+    2. the suffix decodes standalone and equals the tail of the original
+       token list;
+    3. retained bytes never exceed budget + one segment's worth of
+       slack (the open segment cannot be evicted);
+    4. the anchor's cumulative counters match what was dropped.
+    """
+    sink = RingTraceSink(ring_bytes, segment_bytes=segment_bytes)
+    pos = 0
+    split_iter = iter(splits)
+    while pos < len(tokens):
+        step = next(split_iter, None) or len(tokens)
+        sink.flush("t", tokens[pos : pos + step])
+        pos += step
+    sink.flush("t", [], final=True)
+
+    unbounded = encode_tokens(tokens)
+    suffix = sink.suffix_bytes("t")
+    anchor = sink.suffix_anchor("t")
+
+    assert unbounded.endswith(suffix)
+    assert unbounded[anchor.bytes_before :] == suffix
+
+    suffix_tokens = sink.suffix_tokens("t")
+    assert suffix_tokens == tokens[anchor.tokens_before :]
+    assert anchor.tokens_before + len(suffix_tokens) == len(tokens)
+
+    info = sink.thread_info("t")
+    # Budget: sealed segments fit the budget; the open segment may add
+    # at most segment_bytes + one oversized record of slack.
+    max_record = max(
+        (len(encode_tokens([t])) for t in tokens), default=0
+    )
+    assert info["retained_bytes"] <= ring_bytes + max(
+        segment_bytes, max_record
+    )
+    assert info["evicted_tokens"] == anchor.tokens_before
+    assert info["evicted_bytes"] == anchor.bytes_before
+    assert info["retained_bytes"] == len(suffix)
+    assert info["total_bytes"] == len(unbounded)
+    assert info["total_tokens"] == len(tokens)
